@@ -1,0 +1,69 @@
+"""T-INT — automated deployment and testing (Section IV-2).
+
+Regenerates the failure-mode distribution of a mixed fault-injection campaign
+automatically integrated and executed on every target system, demonstrating
+the "smooth, automated transition from fault generation to system evaluation".
+"""
+
+from __future__ import annotations
+
+from repro.config import IntegrationConfig
+from repro.injection import FaultLoad, ProgrammableInjector
+from repro.integration import CampaignReport, ExperimentRunner
+from repro.targets import all_targets
+from repro.types import FailureMode
+
+from conftest import write_result
+
+#: A fault load exercising several operator families on every target.
+CAMPAIGN_LOAD = (
+    FaultLoad(name="t-int")
+    .add("raise_timeout", "*", max_points=1)
+    .add("negate_condition", "*", max_points=2)
+    .add("arithmetic_corruption", "*", max_points=2)
+    .add("remove_call", "*", max_points=2)
+    .add("swallow_exception", "*", max_points=1)
+    .add("wrong_return_value", "*", max_points=2)
+    .add("remove_lock", "*", max_points=1)
+    .add("resource_leak", "*", max_points=1)
+    .add("inject_delay", "*", {"seconds": 0.02}, max_points=1)
+)
+
+
+def run_campaign():
+    injector = ProgrammableInjector()
+    report = CampaignReport(name="t-int")
+    integration_config = IntegrationConfig(workload_iterations=25, test_timeout_seconds=20)
+    per_target_counts = {}
+    for target in all_targets():
+        faults = injector.inject(target.build_source(), CAMPAIGN_LOAD)
+        runner = ExperimentRunner(target, config=integration_config)
+        batch = runner.run_batch_applied(faults, mode="inprocess")
+        report.add_batch(batch)
+        per_target_counts[target.name] = len(faults)
+    return report, per_target_counts
+
+
+def test_integration_failure_mode_distribution(benchmark):
+    report, per_target_counts = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+
+    table = report.to_table() + (
+        f"\ntotal={report.total} activation_rate={report.activation_rate:.2f} "
+        f"failure_rate={report.failure_rate:.2f}"
+    )
+    payload = {
+        "summary": report.summary(),
+        "per_target_fault_counts": per_target_counts,
+        "distribution": report.failure_mode_distribution(),
+    }
+    write_result("integration", payload, table)
+
+    distribution = report.failure_mode_distribution()
+    observed_modes = {mode for mode, count in distribution.items() if count > 0}
+    # Expected shape: integration is fully automatic for every target, the
+    # majority of faults activate, and the campaign exposes a diverse mix of
+    # failure modes (crashes, detected errors, silent corruption, ...).
+    assert report.total >= 40
+    assert report.activation_rate > 0.3
+    assert {FailureMode.CRASH.value, FailureMode.SILENT_DATA_CORRUPTION.value} <= observed_modes
+    assert len(observed_modes - {FailureMode.NO_FAILURE.value}) >= 3

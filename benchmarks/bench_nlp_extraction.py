@@ -1,0 +1,93 @@
+"""T-NLP — fault-specification extraction accuracy of the NLP engine.
+
+Regenerates the per-field accuracy (fault type, target function, trigger,
+handling) of the NLP engine on a labelled corpus of tester-style descriptions
+grounded in the e-commerce target, supporting the Section III-B.1 claim that
+the engine restructures descriptions into precise fault specifications.
+"""
+
+from __future__ import annotations
+
+from repro.nlp import FaultSpecExtractor
+from repro.targets import get_target
+from repro.types import FaultType, HandlingStyle, TriggerKind
+
+from conftest import write_result
+
+#: (description, expected fault type, expected function, expected trigger, expected handling)
+LABELLED_CORPUS = [
+    ("Simulate a scenario where a database transaction fails due to a timeout, causing an unhandled "
+     "exception within the process_transaction function.",
+     FaultType.TIMEOUT, "process_transaction", TriggerKind.ALWAYS, HandlingStyle.UNHANDLED),
+    ("Introduce a race condition in reserve_inventory when two orders arrive concurrently",
+     FaultType.RACE_CONDITION, "reserve_inventory", TriggerKind.CONDITIONAL, HandlingStyle.UNHANDLED),
+    ("Make validate_cart silently swallow errors instead of raising them",
+     FaultType.SWALLOWED_EXCEPTION, "validate_cart", TriggerKind.ALWAYS, HandlingStyle.UNHANDLED),
+    ("Add a delay of 200 milliseconds to charge_payment 30% of the time",
+     FaultType.DELAY, "charge_payment", TriggerKind.PROBABILISTIC, HandlingStyle.UNHANDLED),
+    ("Every 3rd call to send_confirmation should fail with a ConnectionError due to a network outage",
+     FaultType.NETWORK_FAILURE, "send_confirmation", TriggerKind.ON_NTH_CALL, HandlingStyle.UNHANDLED),
+    ("Introduce a memory leak in refund_order so memory grows on every call",
+     FaultType.MEMORY_LEAK, "refund_order", TriggerKind.ALWAYS, HandlingStyle.UNHANDLED),
+    ("Silently corrupt the total computed by compute_total without raising any error",
+     FaultType.DATA_CORRUPTION, "compute_total", TriggerKind.ALWAYS, HandlingStyle.UNHANDLED),
+    ("Introduce an off-by-one error in the loop of compute_total so the last item is skipped",
+     FaultType.OFF_BY_ONE, "compute_total", TriggerKind.ALWAYS, HandlingStyle.UNHANDLED),
+    ("Make charge_payment time out, and introduce a retry mechanism instead of just logging the error",
+     FaultType.TIMEOUT, "charge_payment", TriggerKind.ALWAYS, HandlingStyle.RETRY),
+    ("Introduce a resource leak in process_transaction so sessions are never closed",
+     FaultType.RESOURCE_LEAK, "process_transaction", TriggerKind.ALWAYS, HandlingStyle.UNHANDLED),
+    ("Remove the stock validation check from reserve_inventory so oversold carts are accepted",
+     FaultType.MISSING_CHECK, "reserve_inventory", TriggerKind.ALWAYS, HandlingStyle.UNHANDLED),
+    ("Make open_session hang in an infinite loop when the connection pool is exhausted",
+     FaultType.INFINITE_LOOP, "open_session", TriggerKind.CONDITIONAL, HandlingStyle.UNHANDLED),
+    ("When the cart is empty, apply_discount should raise an unhandled ValueError",
+     FaultType.EXCEPTION, "apply_discount", TriggerKind.CONDITIONAL, HandlingStyle.UNHANDLED),
+    ("Make refund_order return the wrong amount, and fall back to a default value on failure",
+     FaultType.WRONG_RETURN, "refund_order", TriggerKind.ALWAYS, HandlingStyle.FALLBACK),
+    ("Simulate a disk failure affecting close_session so cleanup fails with an OSError",
+     FaultType.DISK_FAILURE, "close_session", TriggerKind.ALWAYS, HandlingStyle.UNHANDLED),
+    ("Make every 5th call to update the inventory in reserve_inventory fail with a timeout",
+     FaultType.TIMEOUT, "reserve_inventory", TriggerKind.ON_NTH_CALL, HandlingStyle.UNHANDLED),
+]
+
+
+def extract_all(extractor, source):
+    return [extractor.extract_from_text(text, source) for text, *_ in LABELLED_CORPUS]
+
+
+def test_nlp_extraction_accuracy(benchmark):
+    extractor = FaultSpecExtractor()
+    source = get_target("ecommerce").build_source()
+    specs = benchmark.pedantic(extract_all, args=(extractor, source), rounds=1, iterations=1)
+
+    hits = {"fault_type": 0, "function": 0, "trigger": 0, "handling": 0}
+    rows = []
+    for (text, fault_type, function, trigger, handling), spec in zip(LABELLED_CORPUS, specs):
+        type_ok = spec.fault_type is fault_type
+        function_ok = spec.target.function == function
+        trigger_ok = spec.trigger.kind is trigger
+        handling_ok = spec.handling is handling
+        hits["fault_type"] += type_ok
+        hits["function"] += function_ok
+        hits["trigger"] += trigger_ok
+        hits["handling"] += handling_ok
+        rows.append(
+            f"  [{'Y' if type_ok else 'n'}{'Y' if function_ok else 'n'}"
+            f"{'Y' if trigger_ok else 'n'}{'Y' if handling_ok else 'n'}] {text[:72]}"
+        )
+
+    total = len(LABELLED_CORPUS)
+    accuracy = {field: count / total for field, count in hits.items()}
+    table = "\n".join(
+        [f"{field:10s} accuracy: {value:.2f}" for field, value in accuracy.items()]
+        + ["per-description hits (type/function/trigger/handling):"]
+        + rows
+    )
+    payload = {"accuracy": accuracy, "corpus_size": total}
+    write_result("nlp_extraction", payload, table)
+
+    assert accuracy["fault_type"] >= 0.85
+    assert accuracy["function"] >= 0.8
+    assert accuracy["trigger"] >= 0.8
+    assert accuracy["handling"] >= 0.8

@@ -1,0 +1,82 @@
+"""T-RLHF — alignment versus feedback iterations.
+
+Regenerates the series behind the paper's iterative-refinement claim
+(Sections III-B.3 and IV-3): tester alignment, mean rating, and reward-model
+accuracy as a function of the number of RLHF iterations, starting from the
+supervised-fine-tuned policy.
+"""
+
+from __future__ import annotations
+
+from repro.config import ModelConfig, RLHFConfig
+from repro.llm import FaultGenerator, SFTTrainer
+from repro.rlhf import RLHFTrainer, tester_pool
+from repro.targets import get_target
+
+from conftest import write_result
+
+SCENARIOS = [
+    "Simulate a timeout in process_transaction causing an unhandled exception",
+    "Introduce a race condition in reserve_inventory under concurrent checkouts",
+    "Make validate_cart silently swallow errors instead of raising them",
+    "Silently corrupt the total computed by compute_total",
+    "Make send_confirmation fail with a network failure intermittently",
+    "Introduce a memory leak in charge_payment",
+]
+
+ITERATIONS = 6
+
+
+def build_prompts(pipeline):
+    source = get_target("ecommerce").build_source()
+    prompts = []
+    for text in SCENARIOS:
+        spec, context = pipeline.define_fault(text, code=source)
+        prompts.append(pipeline.build_prompt(spec, context))
+    return prompts
+
+
+def run_rlhf(pipeline, prompts):
+    # A fresh generator is fine-tuned on the pipeline's dataset, then RLHF runs
+    # with the unconstrained policy so that alignment gains are attributable to
+    # the feedback loop rather than to spec-constrained decoding.
+    generator = FaultGenerator(ModelConfig(constrain_to_spec=False))
+    examples = pipeline.dataset_generator.to_sft_examples(pipeline.dataset)
+    SFTTrainer(generator, pipeline.config.sft).train(examples)
+    trainer = RLHFTrainer(
+        generator,
+        tester_pool(),
+        config=RLHFConfig(iterations=ITERATIONS, candidates_per_iteration=4, policy_learning_rate=0.15),
+    )
+    initial_alignment = trainer.alignment(prompts)
+    report = trainer.run(prompts)
+    return initial_alignment, report
+
+
+def test_rlhf_alignment_over_iterations(benchmark, prepared_pipeline):
+    prompts = build_prompts(prepared_pipeline)
+    initial_alignment, report = benchmark.pedantic(
+        run_rlhf, args=(prepared_pipeline, prompts), rounds=1, iterations=1
+    )
+
+    lines = [f"iteration 0 (before RLHF): alignment={initial_alignment:.3f}"]
+    for stats in report.iterations:
+        lines.append(
+            f"iteration {stats.iteration + 1}: alignment={stats.alignment:.3f} "
+            f"mean_rating={stats.mean_rating:.2f} best_rating={stats.best_rating:.2f} "
+            f"reward_model_acc={stats.reward_model_accuracy:.2f} accepted={stats.accepted_fraction:.2f}"
+        )
+    payload = {
+        "initial_alignment": initial_alignment,
+        "iterations": [stats.to_dict() for stats in report.iterations],
+        "preference_pairs": report.preference_pairs,
+    }
+    write_result("rlhf_iterations", payload, "\n".join(lines))
+
+    # Expected shape: tester ratings of the sampled candidates improve over the
+    # course of RLHF, greedy alignment never degrades, and the reward model
+    # orders candidate pairs much better than chance.
+    assert report.iterations[-1].mean_rating > report.iterations[0].mean_rating
+    assert report.final_alignment >= initial_alignment - 1e-6
+    assert report.iterations[-1].reward_model_accuracy > 0.6
+    assert report.preference_pairs > 0

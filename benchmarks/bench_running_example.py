@@ -1,0 +1,68 @@
+"""EX-A — the Section III-A running example.
+
+Regenerates the two-iteration refinement of the paper's running example:
+iteration 1 produces a database-timeout fault whose exception handling is
+missing or absent; the tester replies "introduce a retry mechanism instead of
+just logging the error"; iteration 2 produces the retry-based fault.  The
+benchmark also measures the behavioural consequence: the unhandled fault
+crashes the e-commerce workload while the refined fault does not.
+"""
+
+from __future__ import annotations
+
+from repro.core import RefinementSession
+from repro.integration import ExperimentRunner
+from repro.targets import get_target
+from repro.types import FailureMode
+
+from conftest import write_result
+
+DESCRIPTION = (
+    "Simulate a scenario where a database transaction fails due to a timeout, "
+    "causing an unhandled exception within the process_transaction function."
+)
+FEEDBACK = "introduce a retry mechanism instead of just logging the error"
+
+
+def run_session(pipeline, source):
+    session = RefinementSession(pipeline, DESCRIPTION, code=source)
+    first = session.propose()
+    second = session.give_feedback(FEEDBACK)
+    return session, first, second
+
+
+def test_running_example_two_iterations(benchmark, prepared_pipeline):
+    target = get_target("ecommerce")
+    source = target.build_source()
+    session, first, second = benchmark.pedantic(
+        run_session, args=(prepared_pipeline, source), rounds=1, iterations=1
+    )
+
+    runner = ExperimentRunner(target, config=prepared_pipeline.config.integration)
+    outcome_before = runner.run_generated(first.fault, mode="inprocess").outcome
+    outcome_after = runner.run_generated(second.fault, mode="inprocess").outcome
+
+    table = "\n".join(
+        [
+            f"iteration 1: template={first.decisions.template} handling={first.decisions.handling} "
+            f"-> failure_mode={outcome_before.failure_mode.value}",
+            f'tester feedback: "{FEEDBACK}"',
+            f"iteration 2: template={second.decisions.template} handling={second.decisions.handling} "
+            f"-> failure_mode={outcome_after.failure_mode.value}",
+        ]
+    )
+    payload = {
+        "history": session.history(),
+        "iteration_1": {"decisions": first.decisions.to_dict(), "outcome": outcome_before.to_dict()},
+        "iteration_2": {"decisions": second.decisions.to_dict(), "outcome": outcome_after.to_dict()},
+        "iteration_1_code": first.fault.code,
+        "iteration_2_code": second.fault.code,
+    }
+    write_result("running_example", payload, table)
+
+    assert first.decisions.template == "timeout"
+    assert first.decisions.handling in ("unhandled", "logged_only")
+    assert second.decisions.handling == "retry"
+    assert "retry" in second.fault.code.lower()
+    assert outcome_before.failure_mode is FailureMode.CRASH
+    assert outcome_after.failure_mode is not FailureMode.CRASH

@@ -1,0 +1,67 @@
+"""Comparative campaign: neural fault injection versus conventional baselines.
+
+Runs the same set of tester scenarios against the bank ledger target with
+
+* the neural pipeline (NL scenarios -> generated faults -> automated testing),
+* the conventional predefined-fault-model injector, and
+* random mutation,
+
+then prints the coverage / effectiveness / effort comparison the paper promises
+as future validation (Section V).
+
+Run with::
+
+    python examples/campaign_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import DatasetConfig, IntegrationConfig, NeuralFaultInjector, PipelineConfig, SFTConfig
+from repro.core import CampaignOrchestrator
+
+SCENARIOS = [
+    "Simulate a timeout in the transfer function so the operation fails with an unhandled exception",
+    "Introduce a race condition in apply_interest when two updates run concurrently",
+    "Make the withdraw function silently swallow errors instead of raising them",
+    "Introduce an off-by-one error in the interest calculation loop of apply_interest",
+    "Make deposit fail with a network failure 30% of the time",
+    "Introduce a memory leak in the transfer function so memory grows on every call",
+    "Remove the overdraft validation check from withdraw",
+    "Silently corrupt the amount returned by the transfer function",
+]
+
+
+def main() -> None:
+    injector = NeuralFaultInjector(
+        PipelineConfig(
+            dataset=DatasetConfig(samples_per_target=30),
+            sft=SFTConfig(epochs=5),
+            integration=IntegrationConfig(workload_iterations=25, test_timeout_seconds=20),
+        )
+    )
+    injector.prepare()
+
+    orchestrator = CampaignOrchestrator(injector, target="bank", mode="inprocess")
+    comparison = orchestrator.compare(SCENARIOS, budget=len(SCENARIOS) * 2)
+
+    print(f"Target: {comparison.target}")
+    header = (
+        f"{'technique':18s} {'scenario cov.':>14s} {'type cov.':>10s} "
+        f"{'exposure':>9s} {'modes':>6s} {'effort (min)':>13s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in comparison.summary_rows():
+        print(
+            f"{row['technique']:18s} {row['scenario_coverage']:>14.2f} "
+            f"{row['fault_type_coverage']:>10.2f} {row['failure_exposure_rate']:>9.2f} "
+            f"{row['distinct_failure_modes']:>6d} {row['effort_minutes']:>13.1f}"
+        )
+
+    print("\nManual-effort comparison (analytical model):")
+    for key, value in orchestrator.efficiency_comparison(SCENARIOS).items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Dataset generation and fine-tuning (Section IV-1 of the paper).
+
+Sweeps the programmable SFI tool over the built-in target systems to build a
+(description, original code, faulty code) dataset, saves it as JSONL, splits
+it, fine-tunes the generation policy on the training split, and reports the
+held-out decision accuracy before and after fine-tuning.
+
+Run with::
+
+    python examples/dataset_and_finetuning.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import DatasetConfig, ModelConfig, SFTConfig
+from repro.dataset import DatasetGenerator, load_jsonl, save_jsonl, split_dataset
+from repro.llm import FaultGenerator, SFTTrainer
+
+
+def main() -> None:
+    generator = DatasetGenerator(DatasetConfig(samples_per_target=60, max_faults_per_function=4))
+    dataset = generator.generate()
+    print(f"Generated {len(dataset)} documented faults "
+          f"({len(dataset.fault_type_counts())} fault types) "
+          f"from {len(dataset.targets())} target systems.")
+    print("Fault-type distribution:")
+    for fault_type, count in sorted(dataset.fault_type_counts().items()):
+        print(f"  {fault_type:22s} {count}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "faults.jsonl"
+        save_jsonl(dataset, path)
+        reloaded = load_jsonl(path)
+        print(f"\nRound-tripped dataset through {path.name}: {len(reloaded)} records")
+
+    splits = split_dataset(dataset)
+    print(f"Splits: {splits.sizes()}")
+
+    train_examples = generator.to_sft_examples(splits.train)
+    test_examples = generator.to_sft_examples(splits.test)
+
+    fault_generator = FaultGenerator(ModelConfig())
+    trainer = SFTTrainer(fault_generator, SFTConfig(epochs=8))
+
+    before = trainer.evaluate(test_examples)
+    report = trainer.train(train_examples)
+    after = trainer.evaluate(test_examples)
+
+    print("\nSupervised fine-tuning on the SFI-generated dataset:")
+    print(f"  training loss : {report.initial_loss:.3f} -> {report.final_loss:.3f}")
+    print(f"  held-out slot accuracy : {before['slot_accuracy']:.3f} -> {after['slot_accuracy']:.3f}")
+    print(f"  held-out exact match   : {before['exact_match']:.3f} -> {after['exact_match']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Using the programmable fault-injection substrate directly (ProFIPy-style).
+
+The neural pipeline sits on top of a conventional programmable injector; this
+example uses that substrate on its own: define a fault load, apply it to the
+key-value store target, run the workload for every mutant, and print the
+observed failure modes — the classic SFI campaign workflow.
+
+Run with::
+
+    python examples/programmable_injection.py
+"""
+
+from __future__ import annotations
+
+from repro import IntegrationConfig
+from repro.injection import FaultLoad, ProgrammableInjector
+from repro.integration import CampaignReport, ExperimentRunner
+from repro.targets import get_target
+
+
+def main() -> None:
+    target = get_target("kvstore")
+    source = target.build_source()
+
+    injector = ProgrammableInjector()
+    scan = injector.locator.scan(source)
+    print(f"Target '{target.name}': {len(scan)} injection points across "
+          f"{len(scan.by_function())} functions and {len(scan.by_operator())} operators.")
+
+    faultload = (
+        FaultLoad(name="kvstore-campaign")
+        .add("negate_condition", "put", label="invert key validation")
+        .add("remove_lock", "delete", label="race on delete")
+        .add("wrong_return_value", "get", label="stale read")
+        .add("swallow_exception", "*", label="silent error handling")
+        .add("resource_leak", "write_snapshot_to", label="leaked file handle")
+        .add("arithmetic_corruption", "*", label="corrupted computation")
+        .add("raise_timeout", "compact", label="compaction timeout")
+    )
+    faults = injector.inject(source, faultload)
+    print(f"\nFault load '{faultload.name}' resolved to {len(faults)} concrete faults:")
+    for applied in faults:
+        print(f"  [{applied.operator:22s}] {applied.description}")
+
+    runner = ExperimentRunner(target, config=IntegrationConfig(workload_iterations=30))
+    batch = runner.run_batch_applied(faults, mode="inprocess")
+    report = CampaignReport.from_batches([batch], name="kvstore-campaign")
+
+    print("\nFailure-mode distribution:")
+    print(report.to_table())
+
+    print("\nExample patch (first fault):")
+    print(faults[0].patch.diff)
+
+
+if __name__ == "__main__":
+    main()

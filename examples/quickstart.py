@@ -1,0 +1,69 @@
+"""Quickstart: from a natural-language fault description to faulty code.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script prepares the pipeline (SFI dataset generation + supervised
+fine-tuning), then turns a one-sentence fault description plus a code snippet
+into an executable faulty version of that code — the core promise of the
+paper's methodology.
+"""
+
+from __future__ import annotations
+
+from repro import DatasetConfig, NeuralFaultInjector, PipelineConfig, SFTConfig
+
+TARGET_CODE = '''
+def process_transaction(transaction_details):
+    """Charge the customer and record the order."""
+    total = 0.0
+    for item in transaction_details["items"]:
+        total += item["price"] * item["qty"]
+    receipt = {"total": round(total, 2), "status": "charged"}
+    return receipt
+'''
+
+DESCRIPTION = (
+    "Simulate a scenario where a database transaction fails due to a timeout, "
+    "causing an unhandled exception within the process_transaction function."
+)
+
+
+def main() -> None:
+    config = PipelineConfig(
+        dataset=DatasetConfig(samples_per_target=30),
+        sft=SFTConfig(epochs=5),
+    )
+    injector = NeuralFaultInjector(config)
+
+    print("Preparing the pipeline (dataset generation + supervised fine-tuning)...")
+    dataset = injector.prepare()
+    print(f"  generated {len(dataset)} training faults "
+          f"across targets {dataset.targets()}")
+    print(f"  SFT loss: {injector.sft_report.initial_loss:.2f} -> "
+          f"{injector.sft_report.final_loss:.2f}")
+
+    print("\nTester description:")
+    print(f"  {DESCRIPTION}")
+
+    spec, context = injector.define_fault(DESCRIPTION, code=TARGET_CODE)
+    print("\nStructured fault specification extracted by the NLP engine:")
+    print(f"  fault type : {spec.fault_type.value}")
+    print(f"  target     : {spec.target.function}")
+    print(f"  trigger    : {spec.trigger.kind.value}")
+    print(f"  handling   : {spec.handling.value}")
+    print(f"  confidence : {spec.confidence}")
+
+    prompt = injector.build_prompt(spec, context)
+    candidate = injector.generate_fault(prompt)
+    print("\nGenerated faulty code:")
+    print(candidate.fault.code)
+
+    print("Decisions taken by the generation model:")
+    for slot, value in candidate.decisions.to_dict().items():
+        print(f"  {slot:10s}: {value}")
+
+
+if __name__ == "__main__":
+    main()

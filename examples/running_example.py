@@ -1,0 +1,61 @@
+"""The paper's running example (Section III-A) as an executable session.
+
+A tester wants to harden the ``process_transaction`` function of an e-commerce
+application.  Iteration 1 produces a database-timeout fault with no real error
+handling; the tester replies "introduce a retry mechanism instead of just
+logging the error", and iteration 2 produces the refined fault.  The refined
+fault is then integrated into the e-commerce target and its test workload is
+executed, closing the Fig. 1 loop.
+
+Run with::
+
+    python examples/running_example.py
+"""
+
+from __future__ import annotations
+
+from repro import DatasetConfig, NeuralFaultInjector, PipelineConfig, SFTConfig
+from repro.core import RefinementSession
+from repro.targets import get_target
+
+DESCRIPTION = (
+    "Simulate a scenario where a database transaction fails due to a timeout, "
+    "causing an unhandled exception within the process_transaction function."
+)
+FEEDBACK = "introduce a retry mechanism instead of just logging the error"
+
+
+def main() -> None:
+    injector = NeuralFaultInjector(
+        PipelineConfig(dataset=DatasetConfig(samples_per_target=30), sft=SFTConfig(epochs=5))
+    )
+    injector.prepare()
+    target = get_target("ecommerce")
+
+    session = RefinementSession(injector, DESCRIPTION, code=target.build_source())
+
+    print("=== Iteration 1: initial generation ===")
+    first = session.propose()
+    print(first.fault.code)
+
+    print(f'=== Tester feedback: "{FEEDBACK}" ===\n')
+    second = session.give_feedback(FEEDBACK)
+
+    print("=== Iteration 2: refined generation ===")
+    print(second.fault.code)
+
+    print("=== Automated integration and testing ===")
+    record = injector.integrate_and_test(second.fault, target, mode="inprocess")
+    outcome = record.outcome
+    print(f"failure mode : {outcome.failure_mode.value}")
+    print(f"activated    : {outcome.activated}")
+    print(f"explanation  : {outcome.details.get('reason')}")
+
+    print("\nSession history:")
+    for turn in session.history():
+        print(f"  iteration {turn['iteration']}: template={turn['template']} "
+              f"handling={turn['handling']} critique={turn['critique']!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Neural Fault Injection: generating software faults from natural language.
+
+A reproduction of Cotroneo & Liguori, *"Neural Fault Injection: Generating
+Software Faults from Natural Language"* (DSN 2024).  The library implements the
+complete methodology the paper envisions, on top of fully offline substrates:
+
+* :mod:`repro.core` — the end-to-end pipeline, refinement sessions, campaigns;
+* :mod:`repro.nlp` — the NLP engine (tokenisation, NER, spec extraction, code
+  analysis, prompt construction);
+* :mod:`repro.llm` — the trainable generation model (policy network, grammar-
+  constrained decoding, supervised fine-tuning, checkpoints);
+* :mod:`repro.rlhf` — reward model, simulated testers, KL-regularised policy
+  optimisation, the iterative refinement loop;
+* :mod:`repro.injection` — the programmable AST-level fault-injection substrate;
+* :mod:`repro.integration` — automated integration, sandboxed testing, failure
+  classification;
+* :mod:`repro.dataset` — SFI-generated fine-tuning datasets;
+* :mod:`repro.targets` — the applications used as systems under test;
+* :mod:`repro.baselines` — conventional fault injection baselines;
+* :mod:`repro.eval` — coverage, effectiveness, efficiency, alignment metrics.
+
+Quickstart::
+
+    from repro import NeuralFaultInjector
+
+    injector = NeuralFaultInjector()
+    injector.prepare()                      # SFI dataset generation + SFT
+    fault = injector.inject(
+        "Simulate a scenario where a database transaction fails due to a "
+        "timeout, causing an unhandled exception within the "
+        "process_transaction function.",
+        code=open("my_module.py").read(),
+    )
+    print(fault.code)
+"""
+
+from .config import (
+    DatasetConfig,
+    IntegrationConfig,
+    ModelConfig,
+    PipelineConfig,
+    RLHFConfig,
+    SFTConfig,
+)
+from .core import (
+    CampaignOrchestrator,
+    ComparisonResult,
+    NeuralFaultInjector,
+    RefinementSession,
+    WorkflowTrace,
+)
+from .errors import ReproError
+from .types import (
+    FailureMode,
+    FaultDescription,
+    FaultSpec,
+    FaultType,
+    Feedback,
+    GeneratedFault,
+    HandlingStyle,
+    InjectionOutcome,
+    Patch,
+    TriggerKind,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignOrchestrator",
+    "ComparisonResult",
+    "DatasetConfig",
+    "FailureMode",
+    "FaultDescription",
+    "FaultSpec",
+    "FaultType",
+    "Feedback",
+    "GeneratedFault",
+    "HandlingStyle",
+    "IntegrationConfig",
+    "InjectionOutcome",
+    "ModelConfig",
+    "NeuralFaultInjector",
+    "Patch",
+    "PipelineConfig",
+    "RLHFConfig",
+    "RefinementSession",
+    "ReproError",
+    "SFTConfig",
+    "TriggerKind",
+    "WorkflowTrace",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Baseline fault-injection techniques used by the comparative analysis.
+
+* :class:`PredefinedModelInjector` — conventional predefined-fault-model SFI;
+* :class:`RandomInjector` — uninformed random mutation;
+* :class:`ManualEffortModel` — analytical tester-effort model for efficiency.
+"""
+
+from .manual_effort import EffortAssumptions, EffortEstimate, ManualEffortModel
+from .predefined import (
+    PREDEFINED_FAULT_MODEL,
+    PREDEFINED_FAULT_TYPES,
+    BaselineCampaignPlan,
+    PredefinedModelInjector,
+    RandomInjector,
+)
+
+__all__ = [
+    "BaselineCampaignPlan",
+    "EffortAssumptions",
+    "EffortEstimate",
+    "ManualEffortModel",
+    "PREDEFINED_FAULT_MODEL",
+    "PREDEFINED_FAULT_TYPES",
+    "PredefinedModelInjector",
+    "RandomInjector",
+]

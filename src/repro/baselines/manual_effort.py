@@ -1,0 +1,108 @@
+"""Analytical model of tester effort for the efficiency comparison.
+
+The paper's central efficiency claim is qualitative: natural-language fault
+definition plus automated generation "significantly reduce[s] the manual effort
+involved in crafting fault scenarios".  To make the comparison quantitative the
+benchmark uses an explicit effort model with documented assumptions; the
+absolute minute counts are illustrative, but the *ratios* are what the
+benchmark reports and they are insensitive to reasonable changes of the
+constants (conventional effort scales with the number of faults and with
+expertise-heavy configuration steps, neural effort scales with the number of
+sentences and feedback rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EffortAssumptions:
+    """Minutes of tester effort assumed per elementary action."""
+
+    write_description_minutes: float = 1.5
+    review_candidate_minutes: float = 1.0
+    feedback_round_minutes: float = 1.5
+    select_operator_minutes: float = 3.0
+    locate_injection_point_minutes: float = 4.0
+    implement_custom_fault_minutes: float = 25.0
+    configure_tool_minutes: float = 10.0
+    expertise_overhead_factor_conventional: float = 1.3
+    expertise_overhead_factor_neural: float = 1.0
+
+
+@dataclass
+class EffortEstimate:
+    """Total manual effort attributed to a technique for one campaign."""
+
+    technique: str
+    scenarios: int
+    minutes: float
+
+    @property
+    def minutes_per_scenario(self) -> float:
+        return self.minutes / self.scenarios if self.scenarios else 0.0
+
+    @property
+    def scenarios_per_hour(self) -> float:
+        return (self.scenarios / self.minutes) * 60.0 if self.minutes else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "technique": self.technique,
+            "scenarios": self.scenarios,
+            "minutes": round(self.minutes, 2),
+            "minutes_per_scenario": round(self.minutes_per_scenario, 2),
+            "scenarios_per_hour": round(self.scenarios_per_hour, 2),
+        }
+
+
+class ManualEffortModel:
+    """Computes effort estimates for the neural and conventional workflows."""
+
+    def __init__(self, assumptions: EffortAssumptions | None = None) -> None:
+        self.assumptions = assumptions or EffortAssumptions()
+
+    def neural(self, scenarios: int, feedback_rounds_per_scenario: float = 1.0) -> EffortEstimate:
+        """Effort of the neural workflow: describe, review, give feedback."""
+        a = self.assumptions
+        per_scenario = (
+            a.write_description_minutes
+            + a.review_candidate_minutes
+            + feedback_rounds_per_scenario * (a.feedback_round_minutes + a.review_candidate_minutes)
+        )
+        minutes = scenarios * per_scenario * a.expertise_overhead_factor_neural
+        return EffortEstimate(technique="neural", scenarios=scenarios, minutes=minutes)
+
+    def conventional(
+        self,
+        scenarios: int,
+        expressible_fraction: float,
+        configuration_actions_per_fault: int = 2,
+    ) -> EffortEstimate:
+        """Effort of the conventional workflow.
+
+        Scenarios expressible by the predefined model cost operator selection
+        plus injection-point location (``configuration_actions_per_fault``
+        actions) and one tool-configuration step; scenarios outside the model
+        must be implemented by hand as custom fault code.
+        """
+        a = self.assumptions
+        expressible = scenarios * max(0.0, min(1.0, expressible_fraction))
+        custom = scenarios - expressible
+        per_expressible = (
+            a.configure_tool_minutes
+            + configuration_actions_per_fault
+            * (a.select_operator_minutes + a.locate_injection_point_minutes)
+            / 2.0
+        )
+        minutes = (
+            expressible * per_expressible + custom * a.implement_custom_fault_minutes
+        ) * a.expertise_overhead_factor_conventional
+        return EffortEstimate(technique="conventional", scenarios=scenarios, minutes=minutes)
+
+    def speedup(self, neural: EffortEstimate, conventional: EffortEstimate) -> float:
+        """How many times less effort the neural workflow takes."""
+        if neural.minutes <= 0:
+            return float("inf")
+        return conventional.minutes / neural.minutes

@@ -1,0 +1,183 @@
+"""Configuration objects for the neural fault injection pipeline.
+
+Configuration is expressed as plain dataclasses with validation in
+``__post_init__`` so that mistakes surface at construction time rather than
+deep inside a training loop or an injection campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any, Mapping
+
+from .errors import ConfigurationError
+
+
+@dataclass
+class ModelConfig:
+    """Hyper-parameters of the fault-generation policy network."""
+
+    embedding_dim: int = 32
+    hidden_dim: int = 64
+    feature_dim: int = 96
+    learning_rate: float = 0.05
+    seed: int = 7
+    temperature: float = 1.0
+    top_k: int | None = None
+    top_p: float | None = None
+    constrain_to_spec: bool = True
+    spec_constraint_threshold: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.spec_constraint_threshold <= 1.0):
+            raise ConfigurationError("spec_constraint_threshold must be in [0, 1]")
+        if self.embedding_dim <= 0 or self.hidden_dim <= 0 or self.feature_dim <= 0:
+            raise ConfigurationError("model dimensions must be positive")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        if self.temperature <= 0:
+            raise ConfigurationError("temperature must be positive")
+        if self.top_k is not None and self.top_k <= 0:
+            raise ConfigurationError("top_k must be positive when set")
+        if self.top_p is not None and not (0.0 < self.top_p <= 1.0):
+            raise ConfigurationError("top_p must be in (0, 1] when set")
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class SFTConfig:
+    """Supervised fine-tuning schedule."""
+
+    epochs: int = 5
+    batch_size: int = 16
+    learning_rate: float = 0.05
+    shuffle: bool = True
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ConfigurationError("epochs must be positive")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class RLHFConfig:
+    """Reinforcement learning from human feedback schedule."""
+
+    iterations: int = 4
+    candidates_per_iteration: int = 4
+    reward_learning_rate: float = 0.1
+    reward_epochs: int = 30
+    policy_learning_rate: float = 0.05
+    kl_beta: float = 0.1
+    baseline_momentum: float = 0.9
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        if self.candidates_per_iteration <= 0:
+            raise ConfigurationError("candidates_per_iteration must be positive")
+        if self.kl_beta < 0:
+            raise ConfigurationError("kl_beta must be non-negative")
+        if not (0.0 <= self.baseline_momentum < 1.0):
+            raise ConfigurationError("baseline_momentum must be in [0, 1)")
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class IntegrationConfig:
+    """Sandboxed integration and testing behaviour."""
+
+    test_timeout_seconds: float = 10.0
+    workload_iterations: int = 25
+    capture_output: bool = True
+    keep_workspaces: bool = False
+
+    def __post_init__(self) -> None:
+        if self.test_timeout_seconds <= 0:
+            raise ConfigurationError("test_timeout_seconds must be positive")
+        if self.workload_iterations <= 0:
+            raise ConfigurationError("workload_iterations must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class DatasetConfig:
+    """Dataset generation parameters (Section IV-1)."""
+
+    samples_per_target: int = 50
+    seed: int = 17
+    max_faults_per_function: int = 3
+    include_descriptions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.samples_per_target <= 0:
+            raise ConfigurationError("samples_per_target must be positive")
+        if self.max_faults_per_function <= 0:
+            raise ConfigurationError("max_faults_per_function must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class PipelineConfig:
+    """Top-level configuration for the end-to-end pipeline (Fig. 1)."""
+
+    model: ModelConfig = field(default_factory=ModelConfig)
+    sft: SFTConfig = field(default_factory=SFTConfig)
+    rlhf: RLHFConfig = field(default_factory=RLHFConfig)
+    integration: IntegrationConfig = field(default_factory=IntegrationConfig)
+    dataset: DatasetConfig = field(default_factory=DatasetConfig)
+    max_refinement_iterations: int = 5
+    use_code_context: bool = True
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.max_refinement_iterations <= 0:
+            raise ConfigurationError("max_refinement_iterations must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "model": self.model.to_dict(),
+            "sft": self.sft.to_dict(),
+            "rlhf": self.rlhf.to_dict(),
+            "integration": self.integration.to_dict(),
+            "dataset": self.dataset.to_dict(),
+            "max_refinement_iterations": self.max_refinement_iterations,
+            "use_code_context": self.use_code_context,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PipelineConfig":
+        """Build a configuration from a nested mapping (e.g. parsed JSON)."""
+        def build(klass, key):
+            value = data.get(key, {})
+            if not isinstance(value, Mapping):
+                raise ConfigurationError(f"{key} section must be a mapping")
+            return klass(**value)
+
+        return cls(
+            model=build(ModelConfig, "model"),
+            sft=build(SFTConfig, "sft"),
+            rlhf=build(RLHFConfig, "rlhf"),
+            integration=build(IntegrationConfig, "integration"),
+            dataset=build(DatasetConfig, "dataset"),
+            max_refinement_iterations=int(data.get("max_refinement_iterations", 5)),
+            use_code_context=bool(data.get("use_code_context", True)),
+            seed=int(data.get("seed", 23)),
+        )

@@ -1,0 +1,24 @@
+"""The paper's primary contribution: the neural fault injection pipeline.
+
+* :class:`NeuralFaultInjector` — the end-to-end Fig. 1 workflow;
+* :class:`RefinementSession` — iterative tester-in-the-loop refinement;
+* :class:`CampaignOrchestrator` — campaigns and the comparative analysis;
+* :class:`WorkflowTrace` — per-stage trace records of workflow runs.
+"""
+
+from .campaign import CampaignOrchestrator, ComparisonResult, TechniqueResult
+from .pipeline import NeuralFaultInjector
+from .results import WORKFLOW_STAGES, StageResult, WorkflowTrace
+from .session import RefinementSession, SessionTurn
+
+__all__ = [
+    "CampaignOrchestrator",
+    "ComparisonResult",
+    "NeuralFaultInjector",
+    "RefinementSession",
+    "SessionTurn",
+    "StageResult",
+    "TechniqueResult",
+    "WORKFLOW_STAGES",
+    "WorkflowTrace",
+]

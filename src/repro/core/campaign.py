@@ -1,0 +1,195 @@
+"""Injection campaigns and the neural-vs-conventional comparison.
+
+:class:`CampaignOrchestrator` drives a whole list of tester scenarios against a
+target system with the neural pipeline, and runs the conventional baselines
+against the same target, producing the coverage / effectiveness / efficiency
+comparison the paper promises as future validation (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..baselines import ManualEffortModel, PredefinedModelInjector, RandomInjector
+from ..baselines.predefined import PREDEFINED_FAULT_TYPES
+from ..eval import (
+    CoverageReport,
+    EffectivenessReport,
+    baseline_coverage,
+    compare_effort,
+    effectiveness,
+    neural_coverage,
+)
+from ..integration import CampaignReport, ExperimentRunner
+from ..targets import TargetSystem, get_target
+from ..types import FaultSpec
+from .pipeline import NeuralFaultInjector
+
+
+@dataclass
+class TechniqueResult:
+    """Everything measured for one technique on one target."""
+
+    technique: str
+    coverage: CoverageReport
+    effectiveness: EffectivenessReport
+    campaign: CampaignReport
+    effort_minutes: float
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "technique": self.technique,
+            "coverage": self.coverage.to_dict(),
+            "effectiveness": self.effectiveness.to_dict(),
+            "campaign": self.campaign.summary(),
+            "effort_minutes": round(self.effort_minutes, 2),
+            "extra": dict(self.extra),
+        }
+
+
+@dataclass
+class ComparisonResult:
+    """Side-by-side comparison of the neural technique and the baselines."""
+
+    target: str
+    techniques: dict[str, TechniqueResult] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"target": self.target, "techniques": {name: result.to_dict() for name, result in self.techniques.items()}}
+
+    def summary_rows(self) -> list[dict[str, Any]]:
+        """Flat rows (one per technique) for table rendering in benchmarks."""
+        rows = []
+        for name, result in self.techniques.items():
+            rows.append(
+                {
+                    "technique": name,
+                    "scenario_coverage": round(result.coverage.scenario_coverage, 3),
+                    "fault_type_coverage": round(result.coverage.fault_type_coverage, 3),
+                    "failure_exposure_rate": round(result.effectiveness.failure_exposure_rate, 3),
+                    "distinct_failure_modes": result.effectiveness.distinct_failure_modes,
+                    "effort_minutes": round(result.effort_minutes, 1),
+                    "faults_executed": result.effectiveness.total,
+                }
+            )
+        return rows
+
+
+class CampaignOrchestrator:
+    """Runs neural and baseline campaigns over one target system."""
+
+    def __init__(
+        self,
+        pipeline: NeuralFaultInjector,
+        target: TargetSystem | str,
+        mode: str = "inprocess",
+    ) -> None:
+        self.pipeline = pipeline
+        self.target = get_target(target) if isinstance(target, str) else target
+        self.mode = mode
+        self._effort_model = ManualEffortModel()
+
+    # -- neural -----------------------------------------------------------------------
+
+    def run_neural(self, scenarios: list[str], feedback_rounds: float = 1.0) -> TechniqueResult:
+        """Run every scenario through the neural pipeline and test the results."""
+        runner = self.pipeline._runner_for(self.target)
+        specs: list[FaultSpec] = []
+        templates: list[str] = []
+        campaign = CampaignReport(name=f"neural-{self.target.name}")
+        source = self.target.build_source()
+        for scenario in scenarios:
+            spec, context = self.pipeline.define_fault(scenario, code=source)
+            prompt = self.pipeline.build_prompt(spec, context)
+            candidate = self.pipeline.generate_fault(prompt)
+            specs.append(spec)
+            templates.append(candidate.decisions.template)
+            record = runner.run_generated(candidate.fault, mode=self._mode_for(candidate.decisions.template))
+            campaign.add_outcome(record.outcome, target=self.target.name)
+        coverage = neural_coverage(specs, templates)
+        effect = effectiveness(campaign.outcomes, technique="neural")
+        effort = self._effort_model.neural(len(scenarios), feedback_rounds_per_scenario=feedback_rounds)
+        return TechniqueResult(
+            technique="neural",
+            coverage=coverage,
+            effectiveness=effect,
+            campaign=campaign,
+            effort_minutes=effort.minutes,
+            extra={"specs": [spec.fault_type.value for spec in specs]},
+        )
+
+    # -- baselines ----------------------------------------------------------------------
+
+    def run_predefined(self, scenarios: list[str], budget: int | None = None) -> TechniqueResult:
+        """Run the conventional predefined-fault-model baseline."""
+        injector = PredefinedModelInjector()
+        source = self.target.build_source()
+        specs = [self.pipeline.define_fault(scenario, code=source)[0] for scenario in scenarios]
+        plan = injector.plan(source, budget=budget or len(scenarios) * 2)
+        runner = ExperimentRunner(self.target, config=self.pipeline.config.integration, seed=self.pipeline.config.seed)
+        campaign = CampaignReport(name=f"predefined-{self.target.name}")
+        for applied in plan.faults:
+            record = runner.run_applied(applied, mode=self._mode_for(applied.operator))
+            campaign.add_outcome(record.outcome, target=self.target.name)
+        coverage = baseline_coverage(specs, injector.can_express, PREDEFINED_FAULT_TYPES, technique="predefined-model")
+        effect = effectiveness(campaign.outcomes, technique="predefined-model")
+        expressible = coverage.scenario_coverage
+        effort = self._effort_model.conventional(len(scenarios), expressible_fraction=expressible)
+        return TechniqueResult(
+            technique="predefined-model",
+            coverage=coverage,
+            effectiveness=effect,
+            campaign=campaign,
+            effort_minutes=effort.minutes,
+            extra={"planned_faults": len(plan.faults)},
+        )
+
+    def run_random(self, scenarios: list[str], budget: int | None = None) -> TechniqueResult:
+        """Run the uninformed random-mutation baseline."""
+        injector = RandomInjector()
+        source = self.target.build_source()
+        specs = [self.pipeline.define_fault(scenario, code=source)[0] for scenario in scenarios]
+        plan = injector.plan(source, budget=budget or len(scenarios) * 2)
+        runner = ExperimentRunner(self.target, config=self.pipeline.config.integration, seed=self.pipeline.config.seed)
+        campaign = CampaignReport(name=f"random-{self.target.name}")
+        for applied in plan.faults:
+            record = runner.run_applied(applied, mode=self._mode_for(applied.operator))
+            campaign.add_outcome(record.outcome, target=self.target.name)
+        coverage = baseline_coverage(specs, injector.can_express, set(), technique="random")
+        coverage.covered_fault_types = {fault.fault_type for fault in plan.faults}
+        effect = effectiveness(campaign.outcomes, technique="random")
+        effort = self._effort_model.conventional(len(scenarios), expressible_fraction=0.0)
+        return TechniqueResult(
+            technique="random",
+            coverage=coverage,
+            effectiveness=effect,
+            campaign=campaign,
+            effort_minutes=effort.minutes,
+            extra={"planned_faults": len(plan.faults)},
+        )
+
+    # -- comparison ---------------------------------------------------------------------
+
+    def compare(self, scenarios: list[str], budget: int | None = None) -> ComparisonResult:
+        """Run all three techniques on the same scenarios and target."""
+        result = ComparisonResult(target=self.target.name)
+        result.techniques["neural"] = self.run_neural(scenarios)
+        result.techniques["predefined-model"] = self.run_predefined(scenarios, budget=budget)
+        result.techniques["random"] = self.run_random(scenarios, budget=budget)
+        return result
+
+    def efficiency_comparison(self, scenarios: list[str]) -> dict[str, Any]:
+        """Manual-effort comparison matching the paper's efficiency claim."""
+        injector = PredefinedModelInjector()
+        source = self.target.build_source()
+        specs = [self.pipeline.define_fault(scenario, code=source)[0] for scenario in scenarios]
+        expressible = sum(1 for spec in specs if injector.can_express(spec)) / len(specs) if specs else 0.0
+        return compare_effort(len(scenarios), expressible_fraction=expressible).to_dict()
+
+    def _mode_for(self, hint: str) -> str:
+        """Hang-prone faults always run in a subprocess; others use the default mode."""
+        if any(marker in hint for marker in ("infinite_loop", "deadlock")):
+            return "subprocess"
+        return self.mode

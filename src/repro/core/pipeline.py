@@ -1,0 +1,245 @@
+"""The end-to-end neural fault injection pipeline (Fig. 1 of the paper).
+
+:class:`NeuralFaultInjector` is the library's main entry point.  It wires the
+NLP engine, the generation model, the RLHF mechanism, and the automated
+integration and testing tool into the workflow the paper describes:
+
+1. *fault definition* — the tester supplies natural language plus target code;
+2. *data processing* — the NLP engine builds a structured fault specification;
+3. *code generation* — the model produces a faulty code snippet;
+4. *RLHF* — tester feedback refines the snippet over one or more iterations;
+5. *automated integration* — the snippet is spliced into the codebase;
+6. *testing* — the workload runs and the failure mode is observed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..config import PipelineConfig
+from ..dataset import DatasetGenerator, FaultDataset
+from ..errors import ReproError
+from ..integration import ExperimentRecord, ExperimentRunner
+from ..llm import FaultGenerator, GenerationCandidate, SFTReport, SFTTrainer
+from ..nlp import CodeAnalyzer, FaultSpecExtractor, GenerationPrompt, PromptBuilder
+from ..rlhf import FeedbackParser, RLHFReport, RLHFTrainer, SimulatedTester, spec_with_feedback, tester_pool
+from ..rng import SeededRNG
+from ..targets import TargetSystem, all_targets, get_target
+from ..types import CodeContext, FaultDescription, FaultSpec, GeneratedFault
+from .results import WorkflowTrace
+
+FeedbackProvider = Callable[[FaultSpec, GenerationCandidate], str | None]
+
+
+class NeuralFaultInjector:
+    """End-to-end pipeline from natural-language fault descriptions to test outcomes."""
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self.config = config or PipelineConfig()
+        self._rng = SeededRNG(self.config.seed, namespace="pipeline")
+        self.extractor = FaultSpecExtractor()
+        self.analyzer = CodeAnalyzer()
+        self.prompts = PromptBuilder()
+        self.generator = FaultGenerator(self.config.model, rng=self._rng.fork("generator"))
+        self.feedback_parser = FeedbackParser()
+        self.dataset_generator = DatasetGenerator(self.config.dataset)
+        self.sft_trainer = SFTTrainer(self.generator, self.config.sft)
+        self.dataset: FaultDataset | None = None
+        self.sft_report: SFTReport | None = None
+        self.rlhf_report: RLHFReport | None = None
+        self._experiment_runners: dict[str, ExperimentRunner] = {}
+
+    # -- preparation (dataset generation + fine-tuning) ----------------------------
+
+    def prepare(
+        self,
+        targets: list[TargetSystem] | None = None,
+        run_sft: bool = True,
+    ) -> FaultDataset:
+        """Generate the SFI dataset and (optionally) fine-tune the generator."""
+        targets = targets if targets is not None else all_targets()
+        self.dataset = self.dataset_generator.generate(targets)
+        if run_sft and len(self.dataset) > 0:
+            examples = self.dataset_generator.to_sft_examples(self.dataset)
+            self.sft_report = self.sft_trainer.train(examples)
+        return self.dataset
+
+    def run_rlhf(self, prompts: list[GenerationPrompt], testers: list[SimulatedTester] | None = None) -> RLHFReport:
+        """Run the RLHF loop over a set of prompts with (simulated) testers."""
+        trainer = RLHFTrainer(
+            self.generator,
+            testers or tester_pool(seed=self.config.rlhf.seed),
+            config=self.config.rlhf,
+        )
+        self.rlhf_report = trainer.run(prompts)
+        return self.rlhf_report
+
+    # -- individual workflow stages -------------------------------------------------
+
+    def define_fault(
+        self, text: str, code: str | None = None, path: str | None = None
+    ) -> tuple[FaultSpec, CodeContext | None]:
+        """Stages 1–2: fault definition and NLP processing."""
+        description = FaultDescription(text=text, code=code, source_path=path)
+        context = None
+        if code and self.config.use_code_context:
+            context = self.analyzer.analyze(code, path=path)
+        spec = self.extractor.extract(description, context=context)
+        if context is not None:
+            self.analyzer.select_function(context, text, hint=spec.target.function)
+        return spec, context
+
+    def build_prompt(
+        self,
+        spec: FaultSpec,
+        context: CodeContext | None,
+        feedback_directives: dict | None = None,
+    ) -> GenerationPrompt:
+        """Package a spec and code context for the generation model."""
+        return self.prompts.build(spec, context, feedback_directives)
+
+    def generate_fault(
+        self, prompt: GenerationPrompt, greedy: bool = True, iteration: int = 0
+    ) -> GenerationCandidate:
+        """Stage 3: code generation."""
+        return self.generator.generate(prompt, greedy=greedy, iteration=iteration)
+
+    def refine(
+        self,
+        spec: FaultSpec,
+        context: CodeContext | None,
+        critique: str,
+        iteration: int,
+    ) -> tuple[FaultSpec, GenerationCandidate]:
+        """Stage 4: fold one round of tester feedback into a new generation."""
+        directives = self.feedback_parser.directives_from_text(critique)
+        refined_spec = spec_with_feedback(spec, directives)
+        prompt = self.build_prompt(refined_spec, context, feedback_directives=directives)
+        candidate = self.generate_fault(prompt, greedy=True, iteration=iteration)
+        return refined_spec, candidate
+
+    def integrate_and_test(
+        self, fault: GeneratedFault, target: TargetSystem | str, mode: str = "subprocess"
+    ) -> ExperimentRecord:
+        """Stages 5–6: automated integration and testing."""
+        runner = self._runner_for(target)
+        return runner.run_generated(fault, mode=mode)
+
+    # -- convenience entry points -----------------------------------------------------
+
+    def inject(self, text: str, code: str | None = None, greedy: bool = True) -> GeneratedFault:
+        """One-shot generation: description (+ code) → faulty code snippet."""
+        spec, context = self.define_fault(text, code=code)
+        prompt = self.build_prompt(spec, context)
+        return self.generate_fault(prompt, greedy=greedy).fault
+
+    def run_workflow(
+        self,
+        text: str,
+        target: TargetSystem | str | None = None,
+        code: str | None = None,
+        feedback: FeedbackProvider | SimulatedTester | None = None,
+        mode: str = "subprocess",
+    ) -> WorkflowTrace:
+        """Execute the full Fig. 1 workflow for one fault description.
+
+        ``feedback`` may be a callable returning a critique (or ``None`` to
+        accept) or a :class:`SimulatedTester`; at most
+        ``config.max_refinement_iterations`` refinement rounds are run.
+        """
+        target_system = get_target(target) if isinstance(target, str) else target
+        if code is None and target_system is not None:
+            code = target_system.build_source()
+        trace = WorkflowTrace(description=text, target=target_system.name if target_system else None)
+
+        started = time.perf_counter()
+        description = FaultDescription(text=text, code=code)
+        trace.add_stage("fault_definition", time.perf_counter() - started, {"has_code": code is not None})
+
+        started = time.perf_counter()
+        try:
+            spec, context = self.define_fault(text, code=code)
+        except ReproError as exc:
+            trace.add_stage("nlp_processing", time.perf_counter() - started, {"error": str(exc)}, succeeded=False)
+            return trace
+        trace.spec = spec
+        trace.add_stage(
+            "nlp_processing",
+            time.perf_counter() - started,
+            {
+                "fault_type": spec.fault_type.value,
+                "target_function": spec.target.function,
+                "confidence": spec.confidence,
+                "entities": len(spec.entities),
+            },
+        )
+
+        started = time.perf_counter()
+        prompt = self.build_prompt(spec, context)
+        candidate = self.generate_fault(prompt)
+        trace.add_stage(
+            "code_generation",
+            time.perf_counter() - started,
+            {"template": candidate.decisions.template, "logprob": round(candidate.logprob, 3)},
+        )
+
+        started = time.perf_counter()
+        rounds = 0
+        current_spec = spec
+        while rounds < self.config.max_refinement_iterations:
+            critique = self._critique(feedback, current_spec, candidate)
+            if not critique:
+                break
+            rounds += 1
+            current_spec, candidate = self.refine(current_spec, context, critique, iteration=rounds)
+        trace.feedback_rounds = rounds
+        trace.fault = candidate.fault
+        trace.add_stage("rlhf_refinement", time.perf_counter() - started, {"rounds": rounds})
+
+        if target_system is None:
+            return trace
+
+        started = time.perf_counter()
+        record = self.integrate_and_test(candidate.fault, target_system, mode=mode)
+        integration_failed = bool(record.outcome.details.get("integration_failed"))
+        trace.add_stage(
+            "integration",
+            time.perf_counter() - started,
+            {"changed_lines": record.outcome.details.get("changed_lines", 0)},
+            succeeded=not integration_failed,
+        )
+        trace.add_stage(
+            "testing",
+            record.outcome.duration_seconds,
+            {
+                "failure_mode": record.outcome.failure_mode.value,
+                "activated": record.outcome.activated,
+            },
+            succeeded=not integration_failed,
+        )
+        trace.outcome = record.outcome
+        return trace
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _runner_for(self, target: TargetSystem | str) -> ExperimentRunner:
+        target_system = get_target(target) if isinstance(target, str) else target
+        if target_system.name not in self._experiment_runners:
+            self._experiment_runners[target_system.name] = ExperimentRunner(
+                target_system, config=self.config.integration, seed=self.config.seed
+            )
+        return self._experiment_runners[target_system.name]
+
+    @staticmethod
+    def _critique(
+        feedback: FeedbackProvider | SimulatedTester | None,
+        spec: FaultSpec,
+        candidate: GenerationCandidate,
+    ) -> str | None:
+        if feedback is None:
+            return None
+        if isinstance(feedback, SimulatedTester):
+            review = feedback.review(spec, candidate)
+            return None if review.accept else review.critique
+        return feedback(spec, candidate)

@@ -1,0 +1,84 @@
+"""Result records of end-to-end pipeline runs (the Fig. 1 workflow trace)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..types import FaultSpec, GeneratedFault, InjectionOutcome
+
+#: Canonical names of the Fig. 1 workflow stages, in order.
+WORKFLOW_STAGES: tuple[str, ...] = (
+    "fault_definition",
+    "nlp_processing",
+    "code_generation",
+    "rlhf_refinement",
+    "integration",
+    "testing",
+)
+
+
+@dataclass
+class StageResult:
+    """One executed workflow stage: its duration and a compact summary."""
+
+    stage: str
+    seconds: float
+    summary: dict[str, Any] = field(default_factory=dict)
+    succeeded: bool = True
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "seconds": round(self.seconds, 6),
+            "summary": dict(self.summary),
+            "succeeded": self.succeeded,
+        }
+
+
+@dataclass
+class WorkflowTrace:
+    """Everything produced by one end-to-end run of the Fig. 1 workflow."""
+
+    description: str
+    target: str | None = None
+    stages: list[StageResult] = field(default_factory=list)
+    spec: FaultSpec | None = None
+    fault: GeneratedFault | None = None
+    outcome: InjectionOutcome | None = None
+    feedback_rounds: int = 0
+
+    def add_stage(self, stage: str, seconds: float, summary: dict[str, Any] | None = None, succeeded: bool = True) -> None:
+        self.stages.append(StageResult(stage=stage, seconds=seconds, summary=dict(summary or {}), succeeded=succeeded))
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+    @property
+    def completed_stages(self) -> list[str]:
+        return [stage.stage for stage in self.stages if stage.succeeded]
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether every executed stage succeeded and a fault was produced."""
+        return bool(self.stages) and all(stage.succeeded for stage in self.stages) and self.fault is not None
+
+    def stage_seconds(self) -> dict[str, float]:
+        aggregated: dict[str, float] = {}
+        for stage in self.stages:
+            aggregated[stage.stage] = aggregated.get(stage.stage, 0.0) + stage.seconds
+        return aggregated
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "description": self.description,
+            "target": self.target,
+            "stages": [stage.to_dict() for stage in self.stages],
+            "spec": self.spec.to_dict() if self.spec else None,
+            "fault": self.fault.to_dict() if self.fault else None,
+            "outcome": self.outcome.to_dict() if self.outcome else None,
+            "feedback_rounds": self.feedback_rounds,
+            "total_seconds": round(self.total_seconds, 6),
+            "succeeded": self.succeeded,
+        }

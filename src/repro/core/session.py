@@ -1,0 +1,122 @@
+"""Interactive refinement sessions (the running example of Section III-A).
+
+A :class:`RefinementSession` tracks the conversation between a tester and the
+generator about *one* fault scenario: the initial proposal, each round of
+feedback, and the resulting refined candidates.  The paper's running example
+is exactly a two-step session: an unhandled database-timeout fault, followed by
+the critique "introduce a retry mechanism instead of just logging the error".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FeedbackError
+from ..llm import GenerationCandidate
+from ..rlhf import FeedbackParser, SimulatedTester, spec_with_feedback
+from ..types import CodeContext, FaultSpec, Feedback
+from .pipeline import NeuralFaultInjector
+
+
+@dataclass
+class SessionTurn:
+    """One proposal/feedback exchange within a session."""
+
+    iteration: int
+    candidate: GenerationCandidate
+    feedback: Feedback | None = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.feedback is not None and self.feedback.accept
+
+
+@dataclass
+class RefinementSession:
+    """Stateful iterative refinement of a single fault scenario."""
+
+    pipeline: NeuralFaultInjector
+    description: str
+    code: str | None = None
+    turns: list[SessionTurn] = field(default_factory=list)
+    spec: FaultSpec | None = None
+    context: CodeContext | None = None
+    _parser: FeedbackParser = field(default_factory=FeedbackParser)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def propose(self) -> GenerationCandidate:
+        """Produce the initial candidate for the session's description."""
+        if self.turns:
+            return self.turns[-1].candidate
+        self.spec, self.context = self.pipeline.define_fault(self.description, code=self.code)
+        prompt = self.pipeline.build_prompt(self.spec, self.context)
+        candidate = self.pipeline.generate_fault(prompt, greedy=True, iteration=0)
+        self.turns.append(SessionTurn(iteration=0, candidate=candidate))
+        return candidate
+
+    def give_feedback(self, critique: str, rating: float | None = None, accept: bool = False) -> GenerationCandidate:
+        """Record tester feedback and produce the next refined candidate."""
+        if not self.turns:
+            raise FeedbackError("no candidate has been proposed yet; call propose() first")
+        current = self.turns[-1]
+        feedback = self._parser.parse(
+            current.candidate.fault.fault_id, critique, rating=rating, accept=accept
+        )
+        current.feedback = feedback
+        if accept:
+            return current.candidate
+        assert self.spec is not None
+        self.spec = spec_with_feedback(self.spec, feedback.directives)
+        prompt = self.pipeline.build_prompt(self.spec, self.context, feedback_directives=feedback.directives)
+        candidate = self.pipeline.generate_fault(prompt, greedy=True, iteration=len(self.turns))
+        self.turns.append(SessionTurn(iteration=len(self.turns), candidate=candidate))
+        return candidate
+
+    def accept(self, rating: float = 5.0) -> GenerationCandidate:
+        """Mark the current candidate as accepted and return it."""
+        return self.give_feedback("", rating=rating, accept=True)
+
+    # -- automated driving ----------------------------------------------------------
+
+    def auto_refine(self, tester: SimulatedTester, max_iterations: int = 5) -> GenerationCandidate:
+        """Drive the session with a simulated tester until acceptance or budget."""
+        candidate = self.propose()
+        for _round in range(max_iterations):
+            assert self.spec is not None
+            review = tester.review(self.spec, candidate)
+            if review.accept:
+                self.give_feedback("", rating=review.rating, accept=True)
+                return candidate
+            candidate = self.give_feedback(review.critique, rating=review.rating)
+        return candidate
+
+    # -- inspection -------------------------------------------------------------------
+
+    @property
+    def current(self) -> GenerationCandidate | None:
+        return self.turns[-1].candidate if self.turns else None
+
+    @property
+    def iterations(self) -> int:
+        return len(self.turns)
+
+    @property
+    def accepted(self) -> bool:
+        return bool(self.turns) and self.turns[-1].accepted
+
+    def history(self) -> list[dict]:
+        """Compact per-turn history for reports and examples."""
+        entries = []
+        for turn in self.turns:
+            entries.append(
+                {
+                    "iteration": turn.iteration,
+                    "template": turn.candidate.decisions.template,
+                    "handling": turn.candidate.decisions.handling,
+                    "critique": turn.feedback.critique if turn.feedback else None,
+                    "rating": turn.feedback.rating if turn.feedback else None,
+                    "accepted": turn.accepted,
+                }
+            )
+        return entries

@@ -1,0 +1,29 @@
+"""Dataset generation and management (the Section IV-1 data pipeline).
+
+Components:
+
+* :class:`FaultRecord` / :class:`FaultDataset` — documented fault triples;
+* :class:`DescriptionSynthesizer` — tester-style NL descriptions of faults;
+* :class:`DatasetGenerator` — sweeps the SFI tool over the targets and adapts
+  records into SFT examples;
+* :func:`split_dataset` — deterministic train/validation/test splits;
+* :func:`save_jsonl` / :func:`load_jsonl` — persistence.
+"""
+
+from .describe import DescriptionSynthesizer
+from .generator import DatasetGenerator, GenerationStats
+from .io import load_jsonl, save_jsonl
+from .records import FaultDataset, FaultRecord
+from .splits import DatasetSplits, split_dataset
+
+__all__ = [
+    "DatasetGenerator",
+    "DatasetSplits",
+    "DescriptionSynthesizer",
+    "FaultDataset",
+    "FaultRecord",
+    "GenerationStats",
+    "load_jsonl",
+    "save_jsonl",
+    "split_dataset",
+]

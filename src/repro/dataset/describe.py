@@ -1,0 +1,148 @@
+"""Natural-language description synthesis for injected faults.
+
+Every injected fault must be paired with a description a tester *could have
+written*; the synthesizer produces such descriptions with several phrasing
+variants per fault type, so the fine-tuned model sees linguistic diversity
+rather than one canned sentence per operator.
+"""
+
+from __future__ import annotations
+
+from ..injection.operators import AppliedFault
+from ..rng import SeededRNG
+from ..types import FaultType
+
+#: Phrasing templates per fault type.  ``{function}`` is the injection target,
+#: ``{detail}`` is the operator-specific detail (condition text, call name, ...).
+_TEMPLATES: dict[FaultType, tuple[str, ...]] = {
+    FaultType.EXCEPTION: (
+        "Simulate a scenario where the {function} function fails with an unhandled exception.",
+        "Make {function} raise an unexpected error while processing a request.",
+        "Introduce a crash in the {function} function caused by an uncaught exception.",
+    ),
+    FaultType.TIMEOUT: (
+        "Simulate a scenario where an operation in {function} fails due to a timeout, causing an unhandled exception.",
+        "Make the {function} function time out as if its backend dependency never responded.",
+        "Introduce a deadline exceeded failure inside {function}.",
+    ),
+    FaultType.DELAY: (
+        "Add a large delay to the {function} function to simulate a slow dependency.",
+        "Introduce a latency spike in {function} so responses become very slow.",
+        "Make {function} respond slowly, as if the downstream service is overloaded.",
+    ),
+    FaultType.RACE_CONDITION: (
+        "Introduce a race condition in the {function} function when it is called concurrently.",
+        "Remove the synchronisation protecting the critical section of {function} so concurrent updates interleave.",
+        "Create a data race in {function} by making its update sequence non-atomic.",
+    ),
+    FaultType.DEADLOCK: (
+        "Introduce a deadlock in the {function} function so that it blocks forever.",
+        "Make {function} acquire a lock it never releases, hanging every later caller.",
+    ),
+    FaultType.MEMORY_LEAK: (
+        "Introduce a memory leak in the {function} function so that memory usage grows on every call.",
+        "Make {function} accumulate data that is never released, leaking memory over time.",
+    ),
+    FaultType.RESOURCE_LEAK: (
+        "Introduce a resource leak in {function} by never calling {detail}.",
+        "Make the {function} function forget to release its resources after use.",
+        "Leave connections opened by {function} unreleased, leaking handles.",
+    ),
+    FaultType.OFF_BY_ONE: (
+        "Introduce an off-by-one error in the loop bounds of {function}.",
+        "Make the {function} function skip the last element it should process.",
+        "Introduce a boundary error in {function} so one extra or one missing iteration occurs.",
+    ),
+    FaultType.WRONG_VALUE: (
+        "Make the {function} function use a wrong value for {detail}.",
+        "Introduce a logic error in {function} where an incorrect constant is used.",
+    ),
+    FaultType.WRONG_CONDITION: (
+        "Negate the condition '{detail}' in the {function} function so the wrong branch is taken.",
+        "Introduce a wrong condition in {function} that inverts its control flow.",
+    ),
+    FaultType.MISSING_CHECK: (
+        "Remove the validation check '{detail}' from the {function} function so invalid input is accepted.",
+        "Make {function} skip its input validation entirely.",
+    ),
+    FaultType.MISSING_CALL: (
+        "Make the {function} function forget to call {detail}.",
+        "Omit the call to {detail} inside {function}, as if the developer forgot it.",
+    ),
+    FaultType.MISSING_RETURN: (
+        "Remove the return statement from {function} so it silently returns None.",
+        "Make {function} forget to return its result.",
+    ),
+    FaultType.WRONG_RETURN: (
+        "Make the {function} function return a wrong value instead of '{detail}'.",
+        "Introduce a fault where {function} returns an incorrect result.",
+    ),
+    FaultType.SWALLOWED_EXCEPTION: (
+        "Make the {function} function silently swallow errors instead of handling them.",
+        "Introduce a fault in {function} where exceptions are caught and ignored.",
+    ),
+    FaultType.INFINITE_LOOP: (
+        "Make a loop in the {function} function spin forever, causing the operation to hang.",
+        "Introduce an infinite loop in {function} that never terminates.",
+    ),
+    FaultType.DATA_CORRUPTION: (
+        "Silently corrupt the data computed by the {function} function without raising any error.",
+        "Introduce silent data corruption in {function} so results are wrong but no error is reported.",
+    ),
+    FaultType.NETWORK_FAILURE: (
+        "Simulate a network outage affecting the call to {detail} in the {function} function.",
+        "Make the network dependency used by {function} unreachable, raising a connection error.",
+    ),
+    FaultType.DISK_FAILURE: (
+        "Simulate a disk failure affecting the call to {detail} in the {function} function.",
+        "Make the storage used by {function} fail with an I/O error.",
+    ),
+}
+
+_FALLBACK = (
+    "Introduce a {fault_type} fault in the {function} function.",
+    "Simulate a {fault_type} failure inside {function}.",
+)
+
+
+class DescriptionSynthesizer:
+    """Produces varied natural-language descriptions for injected faults."""
+
+    def __init__(self, rng: SeededRNG | None = None) -> None:
+        self._rng = rng or SeededRNG(41, namespace="describe")
+
+    def describe(self, applied: AppliedFault, variant: int | None = None) -> str:
+        """A tester-style description of ``applied``.
+
+        With ``variant=None`` a phrasing is chosen pseudo-randomly; passing an
+        explicit variant index makes the choice deterministic (useful when the
+        same fault must be described identically across runs).
+        """
+        templates = _TEMPLATES.get(applied.fault_type, _FALLBACK)
+        if variant is None:
+            template = self._rng.choice(list(templates))
+        else:
+            template = templates[variant % len(templates)]
+        detail = applied.point.detail or applied.operator.replace("_", " ")
+        return template.format(
+            function=applied.point.qualified_function,
+            detail=detail,
+            fault_type=applied.fault_type.value.replace("_", " "),
+        )
+
+    def tool_description(self, applied: AppliedFault) -> str:
+        """The operator's own canonical description (always available)."""
+        return applied.description
+
+    def variants(self, applied: AppliedFault) -> list[str]:
+        """Every phrasing variant for ``applied`` (for data-augmentation tests)."""
+        templates = _TEMPLATES.get(applied.fault_type, _FALLBACK)
+        detail = applied.point.detail or applied.operator.replace("_", " ")
+        return [
+            template.format(
+                function=applied.point.qualified_function,
+                detail=detail,
+                fault_type=applied.fault_type.value.replace("_", " "),
+            )
+            for template in templates
+        ]

@@ -1,0 +1,164 @@
+"""Dataset generation from the programmable SFI tool (Section IV-1).
+
+The generator sweeps the injection operators over the target systems,
+documents each injected fault as a :class:`FaultRecord` (description, original
+code, faulty code, decisions), and converts records into the
+(:class:`GenerationPrompt`, :class:`DecisionVector`) pairs that supervised
+fine-tuning consumes.  "The ability of the SFI tool to generate this data
+on-demand eliminates the traditional bottleneck of data scarcity" — this module
+is that on-demand path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..config import DatasetConfig
+from ..errors import DatasetError
+from ..injection import ProgrammableInjector, ast_utils
+from ..injection.operators import AppliedFault
+from ..llm.decisions import DecisionVector, reference_decisions
+from ..llm.sft import SFTExample
+from ..nlp import CodeAnalyzer, FaultSpecExtractor, PromptBuilder
+from ..rng import SeededRNG
+from ..targets import TargetSystem, all_targets
+from ..types import FaultDescription
+from .describe import DescriptionSynthesizer
+from .records import FaultDataset, FaultRecord
+
+
+@dataclass
+class GenerationStats:
+    """Bookkeeping of one dataset-generation sweep."""
+
+    scanned_points: int = 0
+    applied: int = 0
+    skipped: int = 0
+    per_target: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "scanned_points": self.scanned_points,
+            "applied": self.applied,
+            "skipped": self.skipped,
+            "per_target": dict(self.per_target),
+        }
+
+
+class DatasetGenerator:
+    """Builds fine-tuning datasets by injecting faults into the target systems."""
+
+    def __init__(
+        self,
+        config: DatasetConfig | None = None,
+        injector: ProgrammableInjector | None = None,
+        synthesizer: DescriptionSynthesizer | None = None,
+    ) -> None:
+        self._config = config or DatasetConfig()
+        self._rng = SeededRNG(self._config.seed, namespace="dataset")
+        self._injector = injector or ProgrammableInjector(rng=self._rng.fork("injector"))
+        self._synthesizer = synthesizer or DescriptionSynthesizer(self._rng.fork("describe"))
+        self._extractor = FaultSpecExtractor()
+        self._analyzer = CodeAnalyzer()
+        self._prompts = PromptBuilder()
+        self.stats = GenerationStats()
+
+    # -- record generation ---------------------------------------------------------
+
+    def generate(self, targets: list[TargetSystem] | None = None) -> FaultDataset:
+        """Generate a dataset across ``targets`` (defaults to every built-in target)."""
+        targets = targets if targets is not None else all_targets()
+        if not targets:
+            raise DatasetError("at least one target system is required")
+        dataset = FaultDataset(name="sfi-generated")
+        for target in targets:
+            added = self._generate_for_target(target, dataset)
+            self.stats.per_target[target.name] = added
+        return dataset
+
+    def _generate_for_target(self, target: TargetSystem, dataset: FaultDataset) -> int:
+        source = target.build_source()
+        report = self._injector.locator.scan(source)
+        self.stats.scanned_points += len(report)
+        per_function_counts: dict[str, int] = {}
+        added = 0
+        points = self._rng.shuffle(report.points)
+        for point in points:
+            if added >= self._config.samples_per_target:
+                break
+            function_key = point.qualified_function
+            if per_function_counts.get(function_key, 0) >= self._config.max_faults_per_function:
+                continue
+            try:
+                applied = self._apply(source, point)
+            except Exception:
+                self.stats.skipped += 1
+                continue
+            record = self._record(target, source, applied, index=len(dataset))
+            dataset.add(record)
+            per_function_counts[function_key] = per_function_counts.get(function_key, 0) + 1
+            added += 1
+            self.stats.applied += 1
+        return added
+
+    def _apply(self, source: str, point) -> AppliedFault:
+        from ..injection.operators import get_operator
+
+        operator = get_operator(point.operator)
+        return operator.apply(source, point, rng=self._rng.fork(f"apply:{point.operator}:{point.lineno}"))
+
+    def _record(self, target: TargetSystem, source: str, applied: AppliedFault, index: int) -> FaultRecord:
+        function_name = applied.point.qualified_function
+        bare_name = applied.point.function
+        try:
+            original_code = ast_utils.function_source(source, bare_name)
+            faulty_code = ast_utils.function_source(applied.patch.mutated, bare_name)
+        except Exception:
+            original_code = source
+            faulty_code = applied.patch.mutated
+        description = (
+            self._synthesizer.describe(applied)
+            if self._config.include_descriptions
+            else applied.description
+        )
+        decisions = self._target_decisions(description, original_code, applied)
+        return FaultRecord(
+            record_id=f"{target.name}-{index:05d}",
+            target=target.name,
+            function=function_name,
+            description=description,
+            original_code=original_code,
+            faulty_code=faulty_code,
+            fault_type=applied.fault_type,
+            operator=applied.operator,
+            parameters=dict(applied.parameters),
+            decisions=decisions.to_dict(),
+            lineno=applied.point.lineno,
+        )
+
+    def _target_decisions(self, description: str, original_code: str, applied: AppliedFault) -> DecisionVector:
+        """Supervision target: reference decisions with the ground-truth template."""
+        spec = self._extractor.extract(FaultDescription(text=description, code=original_code))
+        decisions = reference_decisions(spec).to_dict()
+        decisions["template"] = applied.fault_type.value
+        return DecisionVector.from_dict(decisions)
+
+    # -- SFT adaptation --------------------------------------------------------------
+
+    def to_sft_examples(self, dataset: FaultDataset) -> list[SFTExample]:
+        """Convert fault records into supervised fine-tuning examples.
+
+        The prompt side runs the full NLP engine on the synthesized description
+        and the original code, exactly as a tester-authored request would, so
+        fine-tuning sees the same representation inference does.
+        """
+        examples: list[SFTExample] = []
+        for record in dataset:
+            context = self._analyzer.analyze(record.original_code)
+            description = FaultDescription(text=record.description, code=record.original_code)
+            spec = self._extractor.extract(description, context=context)
+            self._analyzer.select_function(context, record.description, hint=spec.target.function)
+            prompt = self._prompts.build(spec, context)
+            examples.append(SFTExample(prompt=prompt, target=DecisionVector.from_dict(record.decisions)))
+        return examples

@@ -1,0 +1,38 @@
+"""JSONL persistence for fault datasets."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import DatasetError
+from .records import FaultDataset, FaultRecord
+
+
+def save_jsonl(dataset: FaultDataset, path: str | Path) -> Path:
+    """Write one JSON object per record to ``path`` (creating parents)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in dataset:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def load_jsonl(path: str | Path, name: str | None = None) -> FaultDataset:
+    """Load a dataset previously written by :func:`save_jsonl`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file {path} does not exist")
+    dataset = FaultDataset(name=name or path.stem)
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                dataset.add(FaultRecord.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise DatasetError(f"invalid record on line {line_number} of {path}: {exc}") from exc
+    return dataset

@@ -1,0 +1,120 @@
+"""Dataset records: (description, original code, faulty code) training triples.
+
+Section IV-1 of the paper proposes using a programmable SFI tool to build the
+fine-tuning corpus: "systematically introduce faults into codebases and then
+document both the fault conditions and the resultant code changes".  A
+:class:`FaultRecord` is exactly one such documented fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..types import FaultType
+
+
+@dataclass
+class FaultRecord:
+    """One documented fault: natural-language description plus code change."""
+
+    record_id: str
+    target: str
+    function: str
+    description: str
+    original_code: str
+    faulty_code: str
+    fault_type: FaultType
+    operator: str
+    parameters: dict[str, Any] = field(default_factory=dict)
+    decisions: dict[str, str] = field(default_factory=dict)
+    lineno: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "record_id": self.record_id,
+            "target": self.target,
+            "function": self.function,
+            "description": self.description,
+            "original_code": self.original_code,
+            "faulty_code": self.faulty_code,
+            "fault_type": self.fault_type.value,
+            "operator": self.operator,
+            "parameters": dict(self.parameters),
+            "decisions": dict(self.decisions),
+            "lineno": self.lineno,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultRecord":
+        return cls(
+            record_id=data["record_id"],
+            target=data["target"],
+            function=data["function"],
+            description=data["description"],
+            original_code=data["original_code"],
+            faulty_code=data["faulty_code"],
+            fault_type=FaultType(data["fault_type"]),
+            operator=data["operator"],
+            parameters=dict(data.get("parameters", {})),
+            decisions=dict(data.get("decisions", {})),
+            lineno=data.get("lineno"),
+        )
+
+
+@dataclass
+class FaultDataset:
+    """An ordered collection of fault records with summary helpers."""
+
+    records: list[FaultRecord] = field(default_factory=list)
+    name: str = "fault-dataset"
+
+    def add(self, record: FaultRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> FaultRecord:
+        return self.records[index]
+
+    def fault_type_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.fault_type.value] = counts.get(record.fault_type.value, 0) + 1
+        return counts
+
+    def operator_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.operator] = counts.get(record.operator, 0) + 1
+        return counts
+
+    def targets(self) -> list[str]:
+        seen: list[str] = []
+        for record in self.records:
+            if record.target not in seen:
+                seen.append(record.target)
+        return seen
+
+    def filter(self, fault_type: FaultType | None = None, target: str | None = None) -> "FaultDataset":
+        """A new dataset containing only matching records."""
+        kept = [
+            record
+            for record in self.records
+            if (fault_type is None or record.fault_type is fault_type)
+            and (target is None or record.target == target)
+        ]
+        return FaultDataset(records=kept, name=self.name)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "records": len(self.records),
+            "targets": self.targets(),
+            "fault_types": self.fault_type_counts(),
+            "operators": self.operator_counts(),
+        }

@@ -1,0 +1,50 @@
+"""Deterministic train / validation / test splitting of fault datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DatasetError
+from ..rng import SeededRNG
+from .records import FaultDataset
+
+
+@dataclass
+class DatasetSplits:
+    """The three standard splits of a fault dataset."""
+
+    train: FaultDataset
+    validation: FaultDataset
+    test: FaultDataset
+
+    def sizes(self) -> dict[str, int]:
+        return {"train": len(self.train), "validation": len(self.validation), "test": len(self.test)}
+
+
+def split_dataset(
+    dataset: FaultDataset,
+    train_fraction: float = 0.7,
+    validation_fraction: float = 0.15,
+    seed: int = 47,
+) -> DatasetSplits:
+    """Split ``dataset`` into train/validation/test partitions.
+
+    The split is stratified only by shuffling with a fixed seed; fractions must
+    leave a non-empty test partition when the dataset itself is non-empty.
+    """
+    if not (0.0 < train_fraction < 1.0):
+        raise DatasetError("train_fraction must be in (0, 1)")
+    if not (0.0 <= validation_fraction < 1.0):
+        raise DatasetError("validation_fraction must be in [0, 1)")
+    if train_fraction + validation_fraction >= 1.0:
+        raise DatasetError("train and validation fractions must sum to less than 1")
+    rng = SeededRNG(seed, namespace="splits")
+    records = rng.shuffle(list(dataset.records))
+    total = len(records)
+    train_end = int(total * train_fraction)
+    validation_end = train_end + int(total * validation_fraction)
+    return DatasetSplits(
+        train=FaultDataset(records=records[:train_end], name=f"{dataset.name}-train"),
+        validation=FaultDataset(records=records[train_end:validation_end], name=f"{dataset.name}-validation"),
+        test=FaultDataset(records=records[validation_end:], name=f"{dataset.name}-test"),
+    )

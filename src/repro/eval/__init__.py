@@ -1,0 +1,46 @@
+"""Evaluation metrics for the reproduced experiments.
+
+* :mod:`metrics` — code similarity, decision accuracy, syntactic validity;
+* :mod:`coverage` — fault-type and scenario coverage of each technique;
+* :mod:`effectiveness` — failure exposure from injection outcomes;
+* :mod:`efficiency` — tester effort and pipeline stage timings;
+* :mod:`alignment` — alignment with tester expectations across RLHF iterations;
+* :mod:`statistics` — means, deviations, bootstrap confidence intervals.
+"""
+
+from .alignment import AlignmentSeries, alignment_score, mean_alignment
+from .coverage import CoverageReport, baseline_coverage, neural_coverage
+from .effectiveness import EffectivenessReport, effectiveness
+from .efficiency import EfficiencyComparison, StageTiming, TimingCollector, compare_effort
+from .metrics import (
+    decision_accuracy,
+    edit_similarity,
+    syntactic_validity,
+    token_bleu,
+    token_jaccard,
+)
+from .statistics import bootstrap_confidence_interval, mean, relative_change, stddev
+
+__all__ = [
+    "AlignmentSeries",
+    "CoverageReport",
+    "EffectivenessReport",
+    "EfficiencyComparison",
+    "StageTiming",
+    "TimingCollector",
+    "alignment_score",
+    "baseline_coverage",
+    "bootstrap_confidence_interval",
+    "compare_effort",
+    "decision_accuracy",
+    "edit_similarity",
+    "effectiveness",
+    "mean",
+    "mean_alignment",
+    "neural_coverage",
+    "relative_change",
+    "stddev",
+    "syntactic_validity",
+    "token_bleu",
+    "token_jaccard",
+]

@@ -1,0 +1,62 @@
+"""Alignment metrics: how closely generations match tester expectations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..llm.decisions import DecisionVector, decision_distance
+
+
+@dataclass
+class AlignmentSeries:
+    """Alignment over RLHF iterations (the series plotted by the RLHF benchmark)."""
+
+    technique: str = "rlhf"
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def initial(self) -> float:
+        return self.values[0] if self.values else 0.0
+
+    @property
+    def final(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    @property
+    def improvement(self) -> float:
+        return self.final - self.initial
+
+    @property
+    def monotone_fraction(self) -> float:
+        """Fraction of consecutive steps that do not decrease alignment."""
+        if len(self.values) < 2:
+            return 1.0
+        non_decreasing = sum(
+            1 for left, right in zip(self.values, self.values[1:]) if right >= left - 1e-9
+        )
+        return non_decreasing / (len(self.values) - 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "technique": self.technique,
+            "values": [round(value, 4) for value in self.values],
+            "initial": round(self.initial, 4),
+            "final": round(self.final, 4),
+            "improvement": round(self.improvement, 4),
+            "monotone_fraction": round(self.monotone_fraction, 4),
+        }
+
+
+def alignment_score(generated: DecisionVector, expected: DecisionVector) -> float:
+    """Alignment in [0, 1]: 1 means the generation matches the expectation exactly."""
+    return 1.0 - decision_distance(generated, expected)
+
+
+def mean_alignment(pairs: list[tuple[DecisionVector, DecisionVector]]) -> float:
+    """Mean alignment over (generated, expected) pairs."""
+    if not pairs:
+        return 0.0
+    return sum(alignment_score(generated, expected) for generated, expected in pairs) / len(pairs)

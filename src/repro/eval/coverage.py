@@ -1,0 +1,90 @@
+"""Coverage metrics: which fault types and scenario intents a technique covers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..types import FaultSpec, FaultType
+
+
+@dataclass
+class CoverageReport:
+    """Fault-type and scenario coverage of one technique."""
+
+    technique: str
+    covered_fault_types: set[FaultType] = field(default_factory=set)
+    requested_fault_types: set[FaultType] = field(default_factory=set)
+    satisfied_scenarios: int = 0
+    total_scenarios: int = 0
+
+    @property
+    def fault_type_coverage(self) -> float:
+        """Fraction of the full fault taxonomy the technique can produce."""
+        taxonomy = len(FaultType.concrete())
+        return len(self.covered_fault_types) / taxonomy if taxonomy else 0.0
+
+    @property
+    def requested_type_coverage(self) -> float:
+        """Fraction of the fault types the scenarios ask for that are covered."""
+        if not self.requested_fault_types:
+            return 0.0
+        return len(self.covered_fault_types & self.requested_fault_types) / len(self.requested_fault_types)
+
+    @property
+    def scenario_coverage(self) -> float:
+        """Fraction of requested scenarios (type + trigger + handling) satisfied."""
+        if not self.total_scenarios:
+            return 0.0
+        return self.satisfied_scenarios / self.total_scenarios
+
+    def to_dict(self) -> dict:
+        return {
+            "technique": self.technique,
+            "covered_fault_types": sorted(fault_type.value for fault_type in self.covered_fault_types),
+            "fault_type_coverage": round(self.fault_type_coverage, 3),
+            "requested_type_coverage": round(self.requested_type_coverage, 3),
+            "scenario_coverage": round(self.scenario_coverage, 3),
+            "satisfied_scenarios": self.satisfied_scenarios,
+            "total_scenarios": self.total_scenarios,
+        }
+
+
+def neural_coverage(specs: Iterable[FaultSpec], generated_templates: Iterable[str], technique: str = "neural") -> CoverageReport:
+    """Coverage of the neural technique over a set of requested scenarios.
+
+    A scenario counts as satisfied when the generated fault's template matches
+    the requested fault type (the trigger and handling are honoured by
+    construction, because the grammar renders whatever the spec asks for).
+    """
+    specs = list(specs)
+    templates = list(generated_templates)
+    report = CoverageReport(technique=technique, total_scenarios=len(specs))
+    for spec, template in zip(specs, templates):
+        requested = spec.fault_type
+        report.requested_fault_types.add(requested)
+        produced = FaultType(template) if template in FaultType._value2member_map_ else FaultType.UNKNOWN
+        report.covered_fault_types.add(produced)
+        if produced is requested or requested is FaultType.UNKNOWN:
+            report.satisfied_scenarios += 1
+    return report
+
+
+def baseline_coverage(
+    specs: Iterable[FaultSpec],
+    can_express,
+    producible_types: Iterable[FaultType],
+    technique: str,
+) -> CoverageReport:
+    """Coverage of a baseline given its scenario predicate and fault-type set."""
+    specs = list(specs)
+    report = CoverageReport(
+        technique=technique,
+        total_scenarios=len(specs),
+        covered_fault_types=set(producible_types),
+    )
+    for spec in specs:
+        report.requested_fault_types.add(spec.fault_type)
+        if can_express(spec):
+            report.satisfied_scenarios += 1
+    return report

@@ -1,0 +1,60 @@
+"""Effectiveness metrics: does injected badness actually expose weaknesses?"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..types import FailureMode, InjectionOutcome
+
+
+@dataclass
+class EffectivenessReport:
+    """Failure-exposure statistics of one campaign."""
+
+    technique: str
+    total: int
+    activated: int
+    failures: int
+    distinct_failure_modes: int
+    by_mode: dict[str, int]
+
+    @property
+    def activation_rate(self) -> float:
+        return self.activated / self.total if self.total else 0.0
+
+    @property
+    def failure_exposure_rate(self) -> float:
+        return self.failures / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "technique": self.technique,
+            "total": self.total,
+            "activated": self.activated,
+            "activation_rate": round(self.activation_rate, 3),
+            "failures": self.failures,
+            "failure_exposure_rate": round(self.failure_exposure_rate, 3),
+            "distinct_failure_modes": self.distinct_failure_modes,
+            "by_mode": dict(self.by_mode),
+        }
+
+
+def effectiveness(outcomes: Iterable[InjectionOutcome], technique: str) -> EffectivenessReport:
+    """Compute effectiveness statistics for a sequence of injection outcomes."""
+    outcomes = list(outcomes)
+    by_mode = {mode.value: 0 for mode in FailureMode}
+    for outcome in outcomes:
+        by_mode[outcome.failure_mode.value] += 1
+    failures = sum(1 for outcome in outcomes if outcome.exposed_failure)
+    distinct = sum(
+        1 for mode, count in by_mode.items() if count > 0 and mode != FailureMode.NO_FAILURE.value
+    )
+    return EffectivenessReport(
+        technique=technique,
+        total=len(outcomes),
+        activated=sum(1 for outcome in outcomes if outcome.activated),
+        failures=failures,
+        distinct_failure_modes=distinct,
+        by_mode=by_mode,
+    )

@@ -1,0 +1,82 @@
+"""Efficiency metrics: tester effort and wall-clock generation throughput."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..baselines.manual_effort import EffortEstimate, ManualEffortModel
+
+
+@dataclass
+class StageTiming:
+    """Wall-clock duration of one pipeline stage."""
+
+    stage: str
+    seconds: float
+
+    def to_dict(self) -> dict:
+        return {"stage": self.stage, "seconds": round(self.seconds, 6)}
+
+
+@dataclass
+class TimingCollector:
+    """Collects per-stage wall-clock timings (used by the Fig. 1 benchmark)."""
+
+    timings: list[StageTiming] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings.append(StageTiming(stage=name, seconds=time.perf_counter() - started))
+
+    def total_seconds(self) -> float:
+        return sum(timing.seconds for timing in self.timings)
+
+    def by_stage(self) -> dict[str, float]:
+        aggregated: dict[str, float] = {}
+        for timing in self.timings:
+            aggregated[timing.stage] = aggregated.get(timing.stage, 0.0) + timing.seconds
+        return aggregated
+
+    def to_dict(self) -> dict:
+        return {"stages": self.by_stage(), "total_seconds": round(self.total_seconds(), 6)}
+
+
+@dataclass
+class EfficiencyComparison:
+    """Side-by-side manual-effort comparison of the two workflows."""
+
+    neural: EffortEstimate
+    conventional: EffortEstimate
+
+    @property
+    def speedup(self) -> float:
+        if self.neural.minutes <= 0:
+            return float("inf")
+        return self.conventional.minutes / self.neural.minutes
+
+    def to_dict(self) -> dict:
+        return {
+            "neural": self.neural.to_dict(),
+            "conventional": self.conventional.to_dict(),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+def compare_effort(
+    scenarios: int,
+    expressible_fraction: float,
+    feedback_rounds_per_scenario: float = 1.0,
+    model: ManualEffortModel | None = None,
+) -> EfficiencyComparison:
+    """Build the effort comparison used by the comparative benchmark."""
+    model = model or ManualEffortModel()
+    return EfficiencyComparison(
+        neural=model.neural(scenarios, feedback_rounds_per_scenario=feedback_rounds_per_scenario),
+        conventional=model.conventional(scenarios, expressible_fraction=expressible_fraction),
+    )

@@ -1,0 +1,87 @@
+"""Code-similarity and decision-accuracy metrics."""
+
+from __future__ import annotations
+
+import difflib
+import re
+
+
+def _code_tokens(code: str) -> list[str]:
+    """Lower-cased identifier/number/operator tokens of a code snippet."""
+    return re.findall(r"[A-Za-z_][A-Za-z0-9_]*|\d+|[^\sA-Za-z0-9]", code.lower())
+
+
+def edit_similarity(left: str, right: str) -> float:
+    """Character-level similarity in [0, 1] (difflib ratio)."""
+    if not left and not right:
+        return 1.0
+    return difflib.SequenceMatcher(a=left, b=right).ratio()
+
+
+def token_jaccard(left: str, right: str) -> float:
+    """Jaccard similarity of the code-token sets of two snippets."""
+    left_tokens = set(_code_tokens(left))
+    right_tokens = set(_code_tokens(right))
+    if not left_tokens and not right_tokens:
+        return 1.0
+    union = left_tokens | right_tokens
+    return len(left_tokens & right_tokens) / len(union)
+
+
+def token_bleu(candidate: str, reference: str, max_n: int = 4) -> float:
+    """A BLEU-style n-gram overlap score between two code snippets.
+
+    Uses token n-grams up to ``max_n`` with uniform weights and a brevity
+    penalty, which is the standard code-generation surface metric at the scale
+    of single functions.
+    """
+    candidate_tokens = _code_tokens(candidate)
+    reference_tokens = _code_tokens(reference)
+    if not candidate_tokens or not reference_tokens:
+        return 0.0
+    precisions: list[float] = []
+    for n in range(1, max_n + 1):
+        candidate_ngrams = _ngram_counts(candidate_tokens, n)
+        reference_ngrams = _ngram_counts(reference_tokens, n)
+        if not candidate_ngrams:
+            break
+        overlap = sum(
+            min(count, reference_ngrams.get(ngram, 0)) for ngram, count in candidate_ngrams.items()
+        )
+        precisions.append(max(overlap, 0.0) / sum(candidate_ngrams.values()))
+    if not precisions or all(precision == 0.0 for precision in precisions):
+        return 0.0
+    smoothed = [precision if precision > 0 else 1e-4 for precision in precisions]
+    geometric_mean = 1.0
+    for precision in smoothed:
+        geometric_mean *= precision
+    geometric_mean **= 1.0 / len(smoothed)
+    brevity = min(1.0, len(candidate_tokens) / len(reference_tokens))
+    return brevity * geometric_mean
+
+
+def _ngram_counts(tokens: list[str], n: int) -> dict[tuple[str, ...], int]:
+    counts: dict[tuple[str, ...], int] = {}
+    for start in range(0, len(tokens) - n + 1):
+        ngram = tuple(tokens[start : start + n])
+        counts[ngram] = counts.get(ngram, 0) + 1
+    return counts
+
+
+def decision_accuracy(predicted: dict[str, str], expected: dict[str, str]) -> float:
+    """Fraction of decision slots predicted correctly."""
+    if not expected:
+        return 0.0
+    hits = sum(1 for slot, value in expected.items() if predicted.get(slot) == value)
+    return hits / len(expected)
+
+
+def syntactic_validity(code: str) -> bool:
+    """Whether a generated snippet parses as Python."""
+    import ast
+
+    try:
+        ast.parse(code)
+        return True
+    except SyntaxError:
+        return False

@@ -1,0 +1,46 @@
+"""Small statistics helpers shared by the benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng import SeededRNG
+
+
+def mean(values: list[float]) -> float:
+    """Arithmetic mean (0.0 for an empty list, which benchmarks treat as absent)."""
+    return float(np.mean(values)) if values else 0.0
+
+
+def stddev(values: list[float]) -> float:
+    """Sample standard deviation (0.0 when fewer than two values)."""
+    return float(np.std(values, ddof=1)) if len(values) > 1 else 0.0
+
+
+def bootstrap_confidence_interval(
+    values: list[float],
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 61,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean of ``values``."""
+    if not values:
+        return (0.0, 0.0)
+    if len(values) == 1:
+        return (values[0], values[0])
+    rng = SeededRNG(seed, namespace="bootstrap").generator
+    data = np.asarray(values, dtype=np.float64)
+    means = np.empty(resamples)
+    for index in range(resamples):
+        sample = rng.choice(data, size=len(data), replace=True)
+        means[index] = sample.mean()
+    lower = (1.0 - confidence) / 2.0
+    upper = 1.0 - lower
+    return (float(np.quantile(means, lower)), float(np.quantile(means, upper)))
+
+
+def relative_change(before: float, after: float) -> float:
+    """Relative change from ``before`` to ``after`` (0.0 when before is 0)."""
+    if before == 0:
+        return 0.0
+    return (after - before) / abs(before)

@@ -1,0 +1,75 @@
+"""Injection point location: scanning target code for applicable fault sites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..types import FaultType
+from .operators import FaultOperator, InjectionPoint, all_operators, operators_for_fault_type
+
+
+@dataclass
+class ScanReport:
+    """All injection points found in one piece of source code."""
+
+    points: list[InjectionPoint] = field(default_factory=list)
+
+    def by_operator(self) -> dict[str, list[InjectionPoint]]:
+        grouped: dict[str, list[InjectionPoint]] = {}
+        for point in self.points:
+            grouped.setdefault(point.operator, []).append(point)
+        return grouped
+
+    def by_function(self) -> dict[str, list[InjectionPoint]]:
+        grouped: dict[str, list[InjectionPoint]] = {}
+        for point in self.points:
+            grouped.setdefault(point.qualified_function, []).append(point)
+        return grouped
+
+    def for_function(self, function_name: str) -> list[InjectionPoint]:
+        """Points inside a function identified by bare or qualified name."""
+        return [
+            point
+            for point in self.points
+            if point.function == function_name or point.qualified_function == function_name
+        ]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class InjectionPointLocator:
+    """Scans source code with a set of fault operators to enumerate fault sites.
+
+    This is the "analysis of the provided code to understand its structure,
+    dependencies, and operational logic" step of the paper's NLP engine, seen
+    from the injection side: it tells the rest of the system *where* each kind
+    of fault could plausibly live in the target code.
+    """
+
+    def __init__(self, operators: Iterable[FaultOperator] | None = None) -> None:
+        self._operators = list(operators) if operators is not None else all_operators()
+
+    @property
+    def operators(self) -> list[FaultOperator]:
+        return list(self._operators)
+
+    def scan(self, source: str) -> ScanReport:
+        """Enumerate every injection point every configured operator can find."""
+        report = ScanReport()
+        for operator in self._operators:
+            report.points.extend(operator.find_points(source))
+        return report
+
+    def scan_for_fault_type(self, source: str, fault_type: FaultType) -> ScanReport:
+        """Enumerate injection points only for operators of one fault type."""
+        report = ScanReport()
+        for operator in operators_for_fault_type(fault_type):
+            report.points.extend(operator.find_points(source))
+        return report
+
+    def scan_function(self, source: str, function_name: str) -> ScanReport:
+        """Enumerate injection points restricted to a single function."""
+        full = self.scan(source)
+        return ScanReport(points=full.for_function(function_name))

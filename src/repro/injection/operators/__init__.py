@@ -1,0 +1,112 @@
+"""Fault operator library and registry.
+
+The registry maps operator names to singleton instances and fault types to the
+operators able to realise them.  The LLM's code-generation grammar, the
+predefined-model baseline, and the dataset generator all draw from the same
+registry, so every subsystem shares one fault vocabulary.
+"""
+
+from __future__ import annotations
+
+from ...errors import InjectionError
+from ...types import FaultType
+from .base import AppliedFault, FaultOperator, InjectionPoint
+from .assignment import RemoveAssignmentOperator, WrongValueAssignmentOperator
+from .branching import NegateConditionOperator, RelaxComparisonOperator, RemoveIfGuardOperator
+from .calls import RemoveCallOperator, SwapArgumentsOperator, WrongArgumentOperator
+from .concurrency import RaceWindowOperator, RemoveLockOperator, SkipAtomicUpdateOperator
+from .data import (
+    ArithmeticCorruptionOperator,
+    DiskFailureOperator,
+    NetworkFailureOperator,
+    ReturnCorruptionOperator,
+)
+from .exceptions import (
+    RaiseExceptionOperator,
+    RemoveRaiseOperator,
+    SwallowExceptionOperator,
+    WrongExceptionTypeOperator,
+)
+from .loops import EarlyLoopExitOperator, InfiniteLoopOperator, OffByOneOperator
+from .resources import ResourceLeakOperator, SkipCleanupOnErrorOperator, UnboundedGrowthOperator
+from .returns import RemoveReturnOperator, WrongReturnValueOperator
+from .timing import DelayOperator, IntermittentTimeoutOperator, TimeoutFaultOperator
+
+_OPERATOR_CLASSES: list[type[FaultOperator]] = [
+    NegateConditionOperator,
+    RemoveIfGuardOperator,
+    RelaxComparisonOperator,
+    RemoveCallOperator,
+    WrongArgumentOperator,
+    SwapArgumentsOperator,
+    WrongReturnValueOperator,
+    RemoveReturnOperator,
+    WrongValueAssignmentOperator,
+    RemoveAssignmentOperator,
+    RaiseExceptionOperator,
+    SwallowExceptionOperator,
+    RemoveRaiseOperator,
+    WrongExceptionTypeOperator,
+    OffByOneOperator,
+    EarlyLoopExitOperator,
+    InfiniteLoopOperator,
+    RemoveLockOperator,
+    RaceWindowOperator,
+    SkipAtomicUpdateOperator,
+    ResourceLeakOperator,
+    UnboundedGrowthOperator,
+    SkipCleanupOnErrorOperator,
+    DelayOperator,
+    TimeoutFaultOperator,
+    IntermittentTimeoutOperator,
+    ArithmeticCorruptionOperator,
+    ReturnCorruptionOperator,
+    NetworkFailureOperator,
+    DiskFailureOperator,
+]
+
+OPERATOR_REGISTRY: dict[str, FaultOperator] = {cls.name: cls() for cls in _OPERATOR_CLASSES}
+
+
+def all_operators() -> list[FaultOperator]:
+    """Every registered operator instance, in registration order."""
+    return list(OPERATOR_REGISTRY.values())
+
+
+def operator_names() -> list[str]:
+    """Names of every registered operator."""
+    return list(OPERATOR_REGISTRY.keys())
+
+
+def get_operator(name: str) -> FaultOperator:
+    """Look up an operator by name, raising :class:`InjectionError` if unknown."""
+    try:
+        return OPERATOR_REGISTRY[name]
+    except KeyError as exc:
+        raise InjectionError(f"unknown fault operator {name!r}", operator=name) from exc
+
+
+def operators_for_fault_type(fault_type: FaultType) -> list[FaultOperator]:
+    """Operators able to realise faults of the given type."""
+    return [op for op in OPERATOR_REGISTRY.values() if op.fault_type is fault_type]
+
+
+def fault_type_coverage() -> dict[FaultType, list[str]]:
+    """Mapping of fault type to the operator names that realise it."""
+    coverage: dict[FaultType, list[str]] = {}
+    for operator in OPERATOR_REGISTRY.values():
+        coverage.setdefault(operator.fault_type, []).append(operator.name)
+    return coverage
+
+
+__all__ = [
+    "AppliedFault",
+    "FaultOperator",
+    "InjectionPoint",
+    "OPERATOR_REGISTRY",
+    "all_operators",
+    "operator_names",
+    "get_operator",
+    "operators_for_fault_type",
+    "fault_type_coverage",
+]

@@ -1,0 +1,105 @@
+"""Fault operators on assignments (wrong or missing variable initialisation)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from ...errors import NoInjectionPointError
+from ...rng import SeededRNG
+from ...types import FaultType
+from .. import ast_utils
+from .base import FaultOperator, InjectionPoint
+
+
+class WrongValueAssignmentOperator(FaultOperator):
+    """Assign a perturbed literal to a variable (wrong value used in computation)."""
+
+    name = "wrong_value_assignment"
+    fault_type = FaultType.WRONG_VALUE
+    summary = "wrong value assigned to a variable"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.Assign]:
+        return [
+            node
+            for node in ast.walk(function)
+            if isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Constant)
+            and not isinstance(node.value.value, bytes)
+        ]
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=node.lineno,
+                node_index=index,
+                detail=ast.unparse(node.targets[0]),
+                class_name=class_name,
+            )
+            for index, node in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("constant assignment no longer present", operator=self.name)
+        node = candidates[point.node_index]
+        magnitude = int(parameters.get("magnitude", 1))
+        node.value = ast.Constant(value=ast_utils.perturb_constant(node.value.value, magnitude))
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Assign a wrong value to '{point.detail}' in the {point.qualified_function} function."
+        )
+
+
+class RemoveAssignmentOperator(FaultOperator):
+    """Remove a variable assignment entirely (missing initialisation)."""
+
+    name = "remove_assignment"
+    fault_type = FaultType.WRONG_VALUE
+    summary = "missing variable assignment"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[tuple[list[ast.stmt], int, ast.stmt]]:
+        slots = []
+        for body, index, statement in ast_utils.iter_statement_slots(function):
+            if isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+                slots.append((body, index, statement))
+            elif isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+                # Only remove re-assignments of simple names; removing the first
+                # binding would raise NameError and turn every run into a crash,
+                # which is a much less interesting (and less residual) fault.
+                target = statement.targets[0]
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    slots.append((body, index, statement))
+        return slots
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=statement.lineno,
+                node_index=index,
+                detail=ast.unparse(statement).splitlines()[0],
+                class_name=class_name,
+            )
+            for index, (_body, _slot, statement) in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("assignment no longer present", operator=self.name)
+        body, slot, _statement = candidates[point.node_index]
+        if len([s for s in body if not isinstance(s, ast.Pass)]) <= 1:
+            body[slot] = ast.Pass()
+        else:
+            del body[slot]
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Omit the state update '{point.detail}' in the {point.qualified_function} function."
+        )

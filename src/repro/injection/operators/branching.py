@@ -1,0 +1,154 @@
+"""Fault operators on branching constructs.
+
+These realise the classic "missing / wrong if construct" operator family from
+G-SWFIT-style fault models: negated conditions, removed guards, and boundary
+comparison mistakes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from ...errors import NoInjectionPointError
+from ...rng import SeededRNG
+from ...types import FaultType
+from .. import ast_utils
+from .base import FaultOperator, InjectionPoint
+
+
+class NegateConditionOperator(FaultOperator):
+    """Negate the condition of an ``if`` statement (wrong logic branch taken)."""
+
+    name = "negate_condition"
+    fault_type = FaultType.WRONG_CONDITION
+    summary = "negated branch condition"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.If]:
+        return [node for node in ast.walk(function) if isinstance(node, ast.If)]
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=node.lineno,
+                node_index=index,
+                detail=ast.unparse(node.test),
+                class_name=class_name,
+            )
+            for index, node in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("if statement no longer present", operator=self.name)
+        node = candidates[point.node_index]
+        node.test = ast.UnaryOp(op=ast.Not(), operand=node.test)
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Negate the condition '{point.detail}' in the {point.qualified_function} function "
+            "so that the wrong branch is taken."
+        )
+
+
+class RemoveIfGuardOperator(FaultOperator):
+    """Remove an ``if`` guard, executing its body unconditionally (missing check)."""
+
+    name = "remove_if_guard"
+    fault_type = FaultType.MISSING_CHECK
+    summary = "missing validation check"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[tuple[list[ast.stmt], int, ast.If]]:
+        slots = []
+        for body, index, statement in ast_utils.iter_statement_slots(function):
+            if isinstance(statement, ast.If) and not statement.orelse:
+                slots.append((body, index, statement))
+        return slots
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=statement.lineno,
+                node_index=index,
+                detail=ast.unparse(statement.test),
+                class_name=class_name,
+            )
+            for index, (_body, _slot, statement) in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("guarded if statement no longer present", operator=self.name)
+        body, slot, statement = candidates[point.node_index]
+        mode = parameters.get("mode", "drop_guard")
+        if mode == "drop_body":
+            body[slot : slot + 1] = [ast.Pass()]
+        else:
+            body[slot : slot + 1] = statement.body
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        if parameters.get("mode") == "drop_body":
+            return (
+                f"Remove the check '{point.detail}' together with its handling logic from the "
+                f"{point.qualified_function} function."
+            )
+        return (
+            f"Remove the guard condition '{point.detail}' in the {point.qualified_function} "
+            "function so that the guarded code always runs."
+        )
+
+
+class RelaxComparisonOperator(FaultOperator):
+    """Replace a comparison operator by its boundary-shifted variant (< vs <=)."""
+
+    name = "relax_comparison"
+    fault_type = FaultType.WRONG_CONDITION
+    summary = "boundary comparison mistake"
+
+    _SWAPS: dict[type, type] = {
+        ast.Lt: ast.LtE,
+        ast.LtE: ast.Lt,
+        ast.Gt: ast.GtE,
+        ast.GtE: ast.Gt,
+        ast.Eq: ast.NotEq,
+        ast.NotEq: ast.Eq,
+    }
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.Compare]:
+        candidates = []
+        for node in ast.walk(function):
+            if isinstance(node, ast.Compare) and node.ops and type(node.ops[0]) in self._SWAPS:
+                candidates.append(node)
+        return candidates
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=node.lineno,
+                node_index=index,
+                detail=ast.unparse(node),
+                class_name=class_name,
+            )
+            for index, node in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("comparison no longer present", operator=self.name)
+        node = candidates[point.node_index]
+        node.ops[0] = self._SWAPS[type(node.ops[0])]()
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Introduce a boundary mistake in the comparison '{point.detail}' inside the "
+            f"{point.qualified_function} function."
+        )

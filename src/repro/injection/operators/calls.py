@@ -1,0 +1,146 @@
+"""Fault operators on function calls: missing calls and wrong arguments."""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from ...errors import NoInjectionPointError
+from ...rng import SeededRNG
+from ...types import FaultType
+from .. import ast_utils
+from .base import FaultOperator, InjectionPoint
+
+
+class RemoveCallOperator(FaultOperator):
+    """Remove a statement-level function call (missing function call fault)."""
+
+    name = "remove_call"
+    fault_type = FaultType.MISSING_CALL
+    summary = "missing function call"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[tuple[list[ast.stmt], int, ast.Expr]]:
+        slots = []
+        for body, index, statement in ast_utils.iter_statement_slots(function):
+            if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Call):
+                slots.append((body, index, statement))
+        return slots
+
+    def _find_in_function(self, function, class_name):
+        points = []
+        for index, (_body, _slot, statement) in enumerate(self._candidates(function)):
+            call = statement.value
+            points.append(
+                InjectionPoint(
+                    operator=self.name,
+                    function=function.name,
+                    lineno=statement.lineno,
+                    node_index=index,
+                    detail=ast_utils.call_name(call) or ast.unparse(call),
+                    class_name=class_name,
+                )
+            )
+        return points
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("call statement no longer present", operator=self.name)
+        body, slot, _statement = candidates[point.node_index]
+        if len([s for s in body if not isinstance(s, ast.Pass)]) <= 1:
+            body[slot] = ast.Pass()
+        else:
+            del body[slot]
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Omit the call to {point.detail} inside the {point.qualified_function} function, "
+            "as if the developer forgot to invoke it."
+        )
+
+
+class WrongArgumentOperator(FaultOperator):
+    """Perturb a literal argument passed to a call (wrong parameter fault)."""
+
+    name = "wrong_argument"
+    fault_type = FaultType.WRONG_VALUE
+    summary = "wrong argument value passed to a call"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[tuple[ast.Call, int]]:
+        candidates = []
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call):
+                for arg_index, arg in enumerate(node.args):
+                    if isinstance(arg, ast.Constant) and not isinstance(arg.value, bytes):
+                        candidates.append((node, arg_index))
+        return candidates
+
+    def _find_in_function(self, function, class_name):
+        points = []
+        for index, (call, arg_index) in enumerate(self._candidates(function)):
+            points.append(
+                InjectionPoint(
+                    operator=self.name,
+                    function=function.name,
+                    lineno=call.lineno,
+                    node_index=index,
+                    detail=f"{ast_utils.call_name(call) or 'call'} arg#{arg_index}",
+                    class_name=class_name,
+                )
+            )
+        return points
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("constant argument no longer present", operator=self.name)
+        call, arg_index = candidates[point.node_index]
+        constant = call.args[arg_index]
+        magnitude = int(parameters.get("magnitude", 1))
+        call.args[arg_index] = ast.Constant(value=ast_utils.perturb_constant(constant.value, magnitude))
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Pass a wrong value for {point.detail} in the {point.qualified_function} function."
+        )
+
+
+class SwapArgumentsOperator(FaultOperator):
+    """Swap the first two positional arguments of a call (argument-order bug)."""
+
+    name = "swap_arguments"
+    fault_type = FaultType.WRONG_VALUE
+    summary = "swapped call arguments"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.Call]:
+        return [
+            node
+            for node in ast.walk(function)
+            if isinstance(node, ast.Call) and len(node.args) >= 2
+        ]
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=node.lineno,
+                node_index=index,
+                detail=ast_utils.call_name(node) or "call",
+                class_name=class_name,
+            )
+            for index, node in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("multi-argument call no longer present", operator=self.name)
+        call = candidates[point.node_index]
+        call.args[0], call.args[1] = call.args[1], call.args[0]
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Swap the first two arguments of the call to {point.detail} in the "
+            f"{point.qualified_function} function."
+        )

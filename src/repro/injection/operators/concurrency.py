@@ -1,0 +1,180 @@
+"""Fault operators targeting concurrency: removed locks and widened race windows."""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from ...errors import NoInjectionPointError
+from ...rng import SeededRNG
+from ...types import FaultType
+from .. import ast_utils
+from .base import FaultOperator, InjectionPoint
+
+_LOCK_HINTS = ("lock", "mutex", "semaphore", "rlock", "guard")
+
+
+def _looks_like_lock(expression: ast.expr) -> bool:
+    """Heuristic: does the with-item expression reference a lock-like object?"""
+    text = ast.unparse(expression).lower()
+    return any(hint in text for hint in _LOCK_HINTS)
+
+
+class RemoveLockOperator(FaultOperator):
+    """Remove a ``with lock:`` block, keeping its body (classic race condition)."""
+
+    name = "remove_lock"
+    fault_type = FaultType.RACE_CONDITION
+    summary = "race condition caused by a missing lock"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[tuple[list[ast.stmt], int, ast.With]]:
+        slots = []
+        for body, index, statement in ast_utils.iter_statement_slots(function):
+            if isinstance(statement, ast.With) and any(
+                _looks_like_lock(item.context_expr) for item in statement.items
+            ):
+                slots.append((body, index, statement))
+        return slots
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=statement.lineno,
+                node_index=index,
+                detail=ast.unparse(statement.items[0].context_expr),
+                class_name=class_name,
+            )
+            for index, (_body, _slot, statement) in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("lock-protected block no longer present", operator=self.name)
+        body, slot, statement = candidates[point.node_index]
+        body[slot : slot + 1] = statement.body
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Introduce a race condition in the {point.qualified_function} function by removing "
+            f"the '{point.detail}' synchronisation around its critical section."
+        )
+
+
+class RaceWindowOperator(FaultOperator):
+    """Insert a small sleep inside a critical section to widen race windows."""
+
+    name = "widen_race_window"
+    fault_type = FaultType.RACE_CONDITION
+    summary = "widened race window between concurrent operations"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.stmt]:
+        candidates: list[ast.stmt] = []
+        for node in ast.walk(function):
+            if isinstance(node, ast.With):
+                candidates.append(node)
+            elif isinstance(node, (ast.For, ast.While)):
+                candidates.append(node)
+        return candidates
+
+    def _find_in_function(self, function, class_name):
+        points = [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=node.lineno,
+                node_index=index,
+                detail=type(node).__name__.lower(),
+                class_name=class_name,
+            )
+            for index, node in enumerate(self._candidates(function))
+        ]
+        if not points:
+            points = [
+                InjectionPoint(
+                    operator=self.name,
+                    function=function.name,
+                    lineno=function.lineno,
+                    node_index=len(self._candidates(function)),
+                    detail="body",
+                    class_name=class_name,
+                )
+            ]
+        return points
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        seconds = float(parameters.get("seconds", 0.001))
+        candidates = self._candidates(function)
+        sleep_statement = ast_utils.make_sleep(seconds)
+        if point.node_index < len(candidates):
+            container = candidates[point.node_index]
+            container.body.insert(0, sleep_statement)
+        else:
+            function.body.insert(ast_utils.body_insert_index(function), sleep_statement)
+        ast_utils.ensure_import(tree, "time")
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Widen the race window in the {point.qualified_function} function by delaying "
+            "execution inside its critical section."
+        )
+
+
+class SkipAtomicUpdateOperator(FaultOperator):
+    """Split a compound (read-modify-write) update so it is no longer atomic."""
+
+    name = "split_atomic_update"
+    fault_type = FaultType.RACE_CONDITION
+    summary = "non-atomic read-modify-write update"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[tuple[list[ast.stmt], int, ast.AugAssign]]:
+        slots = []
+        for body, index, statement in ast_utils.iter_statement_slots(function):
+            if isinstance(statement, ast.AugAssign) and isinstance(
+                statement.target, (ast.Name, ast.Attribute, ast.Subscript)
+            ):
+                slots.append((body, index, statement))
+        return slots
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=statement.lineno,
+                node_index=index,
+                detail=ast.unparse(statement),
+                class_name=class_name,
+            )
+            for index, (_body, _slot, statement) in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("augmented assignment no longer present", operator=self.name)
+        body, slot, statement = candidates[point.node_index]
+        target_load = ast_utils.copy_tree(statement.target)
+        for node in ast.walk(target_load):
+            if hasattr(node, "ctx"):
+                node.ctx = ast.Load()
+        read = ast.Assign(
+            targets=[ast.Name(id="_injected_snapshot", ctx=ast.Store())],
+            value=ast.BinOp(left=target_load, op=statement.op, right=statement.value),
+        )
+        sleep = ast_utils.make_sleep(float(parameters.get("seconds", 0.001)))
+        write = ast.Assign(
+            targets=[statement.target],
+            value=ast.Name(id="_injected_snapshot", ctx=ast.Load()),
+        )
+        body[slot : slot + 1] = [read, sleep, write]
+        ast_utils.ensure_import(tree, "time")
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Replace the atomic update '{point.detail}' in the {point.qualified_function} "
+            "function with a non-atomic read-modify-write sequence, allowing lost updates when "
+            "threads interleave."
+        )

@@ -1,0 +1,213 @@
+"""Fault operators corrupting computed data and emulating I/O failures."""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from ...errors import NoInjectionPointError
+from ...rng import SeededRNG
+from ...types import FaultType
+from .. import ast_utils
+from .base import FaultOperator, InjectionPoint
+
+_NETWORK_HINTS = ("send", "recv", "request", "fetch", "publish", "post", "get_remote", "rpc", "http")
+_DISK_HINTS = ("write", "read", "flush", "save", "load", "persist")
+
+
+class ArithmeticCorruptionOperator(FaultOperator):
+    """Swap an arithmetic operator (+ <-> -, * <-> /) to corrupt computed values."""
+
+    name = "arithmetic_corruption"
+    fault_type = FaultType.DATA_CORRUPTION
+    summary = "corrupted arithmetic computation"
+
+    _SWAPS: dict[type, type] = {
+        ast.Add: ast.Sub,
+        ast.Sub: ast.Add,
+        ast.Mult: ast.Add,
+        ast.Div: ast.Mult,
+    }
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.BinOp]:
+        return [
+            node
+            for node in ast.walk(function)
+            if isinstance(node, ast.BinOp) and type(node.op) in self._SWAPS
+        ]
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=node.lineno,
+                node_index=index,
+                detail=ast.unparse(node),
+                class_name=class_name,
+            )
+            for index, node in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("arithmetic expression no longer present", operator=self.name)
+        node = candidates[point.node_index]
+        node.op = self._SWAPS[type(node.op)]()
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Corrupt the computation '{point.detail}' in the {point.qualified_function} function "
+            "so that it silently produces wrong results."
+        )
+
+
+class ReturnCorruptionOperator(FaultOperator):
+    """Numerically perturb the value returned by a function (silent corruption)."""
+
+    name = "return_corruption"
+    fault_type = FaultType.DATA_CORRUPTION
+    summary = "silently corrupted return value"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.Return]:
+        return [
+            node
+            for node in ast.walk(function)
+            if isinstance(node, ast.Return) and node.value is not None
+        ]
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=node.lineno,
+                node_index=index,
+                detail=ast.unparse(node.value),
+                class_name=class_name,
+            )
+            for index, node in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("return statement no longer present", operator=self.name)
+        node = candidates[point.node_index]
+        helper = ast.parse(
+            "def _injected_corrupt(value):\n"
+            "    if isinstance(value, bool):\n"
+            "        return not value\n"
+            "    if isinstance(value, (int, float)):\n"
+            "        return value + 1\n"
+            "    if isinstance(value, str):\n"
+            "        return value + '!'\n"
+            "    if isinstance(value, dict):\n"
+            "        return {key: _injected_corrupt(inner) for key, inner in value.items()}\n"
+            "    if isinstance(value, list):\n"
+            "        return value[:-1] if value else value\n"
+            "    return value\n"
+        ).body[0]
+        if not any(
+            isinstance(existing, ast.FunctionDef) and existing.name == "_injected_corrupt"
+            for existing in tree.body
+        ):
+            tree.body.insert(0, helper)
+        node.value = ast.Call(
+            func=ast.Name(id="_injected_corrupt", ctx=ast.Load()),
+            args=[node.value],
+            keywords=[],
+        )
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Silently corrupt the data returned by the {point.qualified_function} function "
+            "without raising any error."
+        )
+
+
+class NetworkFailureOperator(FaultOperator):
+    """Raise ``ConnectionError`` before a network-looking call executes."""
+
+    name = "network_failure"
+    fault_type = FaultType.NETWORK_FAILURE
+    summary = "network dependency failure"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[tuple[list[ast.stmt], int, ast.stmt]]:
+        slots = []
+        for body, index, statement in ast_utils.iter_statement_slots(function):
+            names = " ".join(ast_utils.call_names(statement)).lower()
+            if names and any(hint in names for hint in _NETWORK_HINTS):
+                slots.append((body, index, statement))
+        return slots
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=statement.lineno,
+                node_index=index,
+                detail=", ".join(ast_utils.call_names(statement)),
+                class_name=class_name,
+            )
+            for index, (_body, _slot, statement) in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("network call no longer present", operator=self.name)
+        body, slot, _statement = candidates[point.node_index]
+        message = parameters.get("message", "injected network failure")
+        body.insert(slot, ast_utils.make_raise("ConnectionError", message))
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Simulate a network outage affecting the call to {point.detail} in the "
+            f"{point.qualified_function} function."
+        )
+
+
+class DiskFailureOperator(FaultOperator):
+    """Raise ``OSError`` before a storage-looking call executes."""
+
+    name = "disk_failure"
+    fault_type = FaultType.DISK_FAILURE
+    summary = "storage subsystem failure"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[tuple[list[ast.stmt], int, ast.stmt]]:
+        slots = []
+        for body, index, statement in ast_utils.iter_statement_slots(function):
+            names = " ".join(ast_utils.call_names(statement)).lower()
+            if names and any(hint in names for hint in _DISK_HINTS):
+                slots.append((body, index, statement))
+        return slots
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=statement.lineno,
+                node_index=index,
+                detail=", ".join(ast_utils.call_names(statement)),
+                class_name=class_name,
+            )
+            for index, (_body, _slot, statement) in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("storage call no longer present", operator=self.name)
+        body, slot, _statement = candidates[point.node_index]
+        message = parameters.get("message", "injected disk failure")
+        body.insert(slot, ast_utils.make_raise("OSError", message))
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Simulate a disk failure affecting the call to {point.detail} in the "
+            f"{point.qualified_function} function."
+        )

@@ -1,0 +1,175 @@
+"""Fault operators on exception raising and handling."""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from ...errors import NoInjectionPointError
+from ...rng import SeededRNG
+from ...types import FaultType
+from .. import ast_utils
+from .base import FaultOperator, InjectionPoint
+
+
+class RaiseExceptionOperator(FaultOperator):
+    """Inject an unconditional ``raise`` at the top of a function body."""
+
+    name = "raise_exception"
+    fault_type = FaultType.EXCEPTION
+    summary = "unhandled exception"
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=function.lineno,
+                node_index=0,
+                detail="body_start",
+                class_name=class_name,
+            )
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        exception_name = parameters.get("exception", "RuntimeError")
+        message = parameters.get("message", f"injected fault in {function.name}")
+        insert_at = ast_utils.body_insert_index(function)
+        function.body.insert(insert_at, ast_utils.make_raise(exception_name, message))
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        exception_name = parameters.get("exception", "RuntimeError")
+        return (
+            f"Simulate a scenario where the {point.qualified_function} function fails with an "
+            f"unhandled {exception_name}."
+        )
+
+
+class SwallowExceptionOperator(FaultOperator):
+    """Replace an exception handler body with ``pass`` (error silently swallowed)."""
+
+    name = "swallow_exception"
+    fault_type = FaultType.SWALLOWED_EXCEPTION
+    summary = "silently swallowed exception"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.ExceptHandler]:
+        handlers = []
+        for node in ast.walk(function):
+            if isinstance(node, ast.Try):
+                handlers.extend(node.handlers)
+        return handlers
+
+    def _find_in_function(self, function, class_name):
+        points = []
+        for index, handler in enumerate(self._candidates(function)):
+            caught = ast.unparse(handler.type) if handler.type is not None else "Exception"
+            points.append(
+                InjectionPoint(
+                    operator=self.name,
+                    function=function.name,
+                    lineno=handler.lineno,
+                    node_index=index,
+                    detail=caught,
+                    class_name=class_name,
+                )
+            )
+        return points
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("exception handler no longer present", operator=self.name)
+        handler = candidates[point.node_index]
+        handler.body = [ast.Pass()]
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Silently swallow {point.detail} exceptions in the {point.qualified_function} "
+            "function instead of handling them."
+        )
+
+
+class RemoveRaiseOperator(FaultOperator):
+    """Remove a ``raise`` statement so errors are no longer propagated."""
+
+    name = "remove_raise"
+    fault_type = FaultType.SWALLOWED_EXCEPTION
+    summary = "error no longer reported to the caller"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[tuple[list[ast.stmt], int, ast.Raise]]:
+        slots = []
+        for body, index, statement in ast_utils.iter_statement_slots(function):
+            if isinstance(statement, ast.Raise):
+                slots.append((body, index, statement))
+        return slots
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=statement.lineno,
+                node_index=index,
+                detail=ast.unparse(statement),
+                class_name=class_name,
+            )
+            for index, (_body, _slot, statement) in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("raise statement no longer present", operator=self.name)
+        body, slot, _statement = candidates[point.node_index]
+        body[slot] = ast.Pass()
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Remove the error propagation '{point.detail}' from the {point.qualified_function} "
+            "function so that invalid states go unreported."
+        )
+
+
+class WrongExceptionTypeOperator(FaultOperator):
+    """Catch a broader exception type than intended (masks unrelated errors)."""
+
+    name = "broad_except"
+    fault_type = FaultType.SWALLOWED_EXCEPTION
+    summary = "overly broad exception handler"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.ExceptHandler]:
+        handlers = []
+        for node in ast.walk(function):
+            if isinstance(node, ast.Try):
+                for handler in node.handlers:
+                    if handler.type is not None and not (
+                        isinstance(handler.type, ast.Name) and handler.type.id == "Exception"
+                    ):
+                        handlers.append(handler)
+        return handlers
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=handler.lineno,
+                node_index=index,
+                detail=ast.unparse(handler.type) if handler.type is not None else "Exception",
+                class_name=class_name,
+            )
+            for index, handler in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("typed exception handler no longer present", operator=self.name)
+        handler = candidates[point.node_index]
+        handler.type = ast.Name(id="Exception", ctx=ast.Load())
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Broaden the handler for {point.detail} in the {point.qualified_function} function "
+            "to catch every exception, masking unrelated errors."
+        )

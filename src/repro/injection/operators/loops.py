@@ -1,0 +1,163 @@
+"""Fault operators on loops: off-by-one bounds, early exits, unbounded loops."""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from ...errors import NoInjectionPointError
+from ...rng import SeededRNG
+from ...types import FaultType
+from .. import ast_utils
+from .base import FaultOperator, InjectionPoint
+
+
+class OffByOneOperator(FaultOperator):
+    """Shift a ``range`` bound or constant subscript index by one."""
+
+    name = "off_by_one"
+    fault_type = FaultType.OFF_BY_ONE
+    summary = "off-by-one error"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.expr]:
+        candidates: list[ast.expr] = []
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call) and ast_utils.call_name(node) == "range" and node.args:
+                for arg in node.args:
+                    if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+                        candidates.append(arg)
+                    elif isinstance(arg, (ast.Name, ast.Attribute, ast.Call)):
+                        candidates.append(arg)
+            elif isinstance(node, ast.Subscript):
+                if isinstance(node.slice, ast.Constant) and isinstance(node.slice.value, int):
+                    candidates.append(node.slice)
+        return candidates
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=getattr(node, "lineno", function.lineno),
+                node_index=index,
+                detail=ast.unparse(node),
+                class_name=class_name,
+            )
+            for index, node in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("loop bound no longer present", operator=self.name)
+        node = candidates[point.node_index]
+        delta = int(parameters.get("delta", 1))
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            node.value = node.value + delta
+        else:
+            # Wrap non-constant bounds in `bound + delta` without changing types.
+            replacement = ast.BinOp(
+                left=ast_utils.copy_tree(node), op=ast.Add(), right=ast.Constant(value=delta)
+            )
+            self._replace_expr(function, node, replacement)
+
+    @staticmethod
+    def _replace_expr(function: ast_utils.FunctionNode, old: ast.expr, new: ast.expr) -> None:
+        for parent in ast.walk(function):
+            for field_name, value in ast.iter_fields(parent):
+                if value is old:
+                    setattr(parent, field_name, new)
+                    return
+                if isinstance(value, list):
+                    for index, item in enumerate(value):
+                        if item is old:
+                            value[index] = new
+                            return
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Introduce an off-by-one error on the bound '{point.detail}' in the "
+            f"{point.qualified_function} function."
+        )
+
+
+class EarlyLoopExitOperator(FaultOperator):
+    """Insert a ``break`` at the start of a loop body so it runs at most once."""
+
+    name = "early_loop_exit"
+    fault_type = FaultType.OFF_BY_ONE
+    summary = "loop terminating too early"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.stmt]:
+        return [node for node in ast.walk(function) if isinstance(node, (ast.For, ast.While))]
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=node.lineno,
+                node_index=index,
+                detail="for" if isinstance(node, ast.For) else "while",
+                class_name=class_name,
+            )
+            for index, node in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("loop no longer present", operator=self.name)
+        loop = candidates[point.node_index]
+        loop.body.append(ast.Break())
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Make the {point.detail} loop in the {point.qualified_function} function exit after "
+            "its first iteration, so later items are silently skipped."
+        )
+
+
+class InfiniteLoopOperator(FaultOperator):
+    """Turn a ``while`` condition into ``True``, creating a potential hang."""
+
+    name = "infinite_loop"
+    fault_type = FaultType.INFINITE_LOOP
+    summary = "non-terminating loop"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.While]:
+        return [
+            node
+            for node in ast.walk(function)
+            if isinstance(node, ast.While)
+            and not (isinstance(node.test, ast.Constant) and node.test.value is True)
+        ]
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=node.lineno,
+                node_index=index,
+                detail=ast.unparse(node.test),
+                class_name=class_name,
+            )
+            for index, node in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("while loop no longer present", operator=self.name)
+        loop = candidates[point.node_index]
+        loop.test = ast.Constant(value=True)
+        # Also strip break statements directly in the loop body so the loop
+        # genuinely fails to terminate rather than exiting on the first break.
+        loop.body = [s for s in loop.body if not isinstance(s, ast.Break)] or [ast.Pass()]
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Make the loop guarded by '{point.detail}' in the {point.qualified_function} "
+            "function spin forever, causing the operation to hang."
+        )

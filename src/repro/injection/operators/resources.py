@@ -1,0 +1,145 @@
+"""Fault operators for resource and memory leaks."""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from ...errors import NoInjectionPointError
+from ...rng import SeededRNG
+from ...types import FaultType
+from .. import ast_utils
+from .base import FaultOperator, InjectionPoint
+
+_RELEASE_HINTS = ("close", "release", "disconnect", "shutdown", "cleanup", "unlink", "clear")
+
+
+class ResourceLeakOperator(FaultOperator):
+    """Remove a resource release call (``close``, ``release``, ...)."""
+
+    name = "resource_leak"
+    fault_type = FaultType.RESOURCE_LEAK
+    summary = "leaked resource that is never released"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[tuple[list[ast.stmt], int, ast.Expr]]:
+        slots = []
+        for body, index, statement in ast_utils.iter_statement_slots(function):
+            if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Call):
+                name = ast_utils.call_name(statement.value).lower()
+                if any(name.endswith(hint) or f".{hint}" in name for hint in _RELEASE_HINTS):
+                    slots.append((body, index, statement))
+        return slots
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=statement.lineno,
+                node_index=index,
+                detail=ast_utils.call_name(statement.value),
+                class_name=class_name,
+            )
+            for index, (_body, _slot, statement) in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("release call no longer present", operator=self.name)
+        body, slot, _statement = candidates[point.node_index]
+        if len([s for s in body if not isinstance(s, ast.Pass)]) <= 1:
+            body[slot] = ast.Pass()
+        else:
+            del body[slot]
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Introduce a resource leak in the {point.qualified_function} function by never "
+            f"calling {point.detail}."
+        )
+
+
+class UnboundedGrowthOperator(FaultOperator):
+    """Accumulate data into a process-wide list on every call (memory leak)."""
+
+    name = "memory_leak"
+    fault_type = FaultType.MEMORY_LEAK
+    summary = "memory leak through unbounded accumulation"
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=function.lineno,
+                node_index=0,
+                detail="body_start",
+                class_name=class_name,
+            )
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        payload_size = int(parameters.get("payload_size", 1024))
+        leak_statement = ast.parse(
+            "globals().setdefault('_injected_leak', []).append(bytearray(%d))" % payload_size
+        ).body[0]
+        function.body.insert(ast_utils.body_insert_index(function), leak_statement)
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Introduce a memory leak in the {point.qualified_function} function so that memory "
+            "usage grows on every call and is never reclaimed."
+        )
+
+
+class SkipCleanupOnErrorOperator(FaultOperator):
+    """Drop a ``finally`` block so cleanup is skipped on the error path."""
+
+    name = "skip_cleanup_on_error"
+    fault_type = FaultType.RESOURCE_LEAK
+    summary = "cleanup skipped on the error path"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.Try]:
+        return [
+            node
+            for node in ast.walk(function)
+            if isinstance(node, ast.Try) and node.finalbody
+        ]
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=node.lineno,
+                node_index=index,
+                detail="finally",
+                class_name=class_name,
+            )
+            for index, node in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("try/finally block no longer present", operator=self.name)
+        node = candidates[point.node_index]
+        # Move the cleanup onto the success path only: it no longer runs when
+        # the body raises, which is exactly how real cleanup bugs manifest.
+        node.body = node.body + node.finalbody
+        node.finalbody = []
+        if not node.handlers and not node.finalbody:
+            node.handlers = [
+                ast.ExceptHandler(
+                    type=ast.Name(id="Exception", ctx=ast.Load()),
+                    name=None,
+                    body=[ast.Raise(exc=None, cause=None)],
+                )
+            ]
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Skip resource cleanup on the error path of the {point.qualified_function} function "
+            "by removing its finally block."
+        )

@@ -1,0 +1,100 @@
+"""Fault operators on return statements."""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from ...errors import NoInjectionPointError
+from ...rng import SeededRNG
+from ...types import FaultType
+from .. import ast_utils
+from .base import FaultOperator, InjectionPoint
+
+
+class WrongReturnValueOperator(FaultOperator):
+    """Return a wrong (perturbed or ``None``) value from a function."""
+
+    name = "wrong_return_value"
+    fault_type = FaultType.WRONG_RETURN
+    summary = "wrong return value"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[ast.Return]:
+        return [
+            node
+            for node in ast.walk(function)
+            if isinstance(node, ast.Return) and node.value is not None
+        ]
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=node.lineno,
+                node_index=index,
+                detail=ast.unparse(node.value),
+                class_name=class_name,
+            )
+            for index, node in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("return statement no longer present", operator=self.name)
+        node = candidates[point.node_index]
+        if isinstance(node.value, ast.Constant):
+            node.value = ast.Constant(
+                value=ast_utils.perturb_constant(node.value.value, int(parameters.get("magnitude", 1)))
+            )
+        else:
+            node.value = ast.Constant(value=None)
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Make the {point.qualified_function} function return a wrong value instead of "
+            f"'{point.detail}'."
+        )
+
+
+class RemoveReturnOperator(FaultOperator):
+    """Drop a return statement so the function falls through (missing return)."""
+
+    name = "remove_return"
+    fault_type = FaultType.MISSING_RETURN
+    summary = "missing return statement"
+
+    def _candidates(self, function: ast_utils.FunctionNode) -> list[tuple[list[ast.stmt], int, ast.Return]]:
+        slots = []
+        for body, index, statement in ast_utils.iter_statement_slots(function):
+            if isinstance(statement, ast.Return) and statement.value is not None:
+                slots.append((body, index, statement))
+        return slots
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=statement.lineno,
+                node_index=index,
+                detail=ast.unparse(statement.value) if statement.value else "",
+                class_name=class_name,
+            )
+            for index, (_body, _slot, statement) in enumerate(self._candidates(function))
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        candidates = self._candidates(function)
+        if point.node_index >= len(candidates):
+            raise NoInjectionPointError("return statement no longer present", operator=self.name)
+        body, slot, statement = candidates[point.node_index]
+        # Keep the evaluated expression so side effects remain, but drop the return.
+        body[slot] = ast.Expr(value=statement.value)
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Remove the return of '{point.detail}' from the {point.qualified_function} function "
+            "so that it implicitly returns None."
+        )

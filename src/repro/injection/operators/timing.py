@@ -1,0 +1,114 @@
+"""Fault operators for timing-related faults: delays and timeouts."""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from ...rng import SeededRNG
+from ...types import FaultType
+from .. import ast_utils
+from .base import FaultOperator, InjectionPoint
+
+
+class DelayOperator(FaultOperator):
+    """Insert a latency spike (``time.sleep``) at the top of a function."""
+
+    name = "inject_delay"
+    fault_type = FaultType.DELAY
+    summary = "latency spike"
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=function.lineno,
+                node_index=0,
+                detail="body_start",
+                class_name=class_name,
+            )
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        seconds = float(parameters.get("seconds", 0.05))
+        function.body.insert(ast_utils.body_insert_index(function), ast_utils.make_sleep(seconds))
+        ast_utils.ensure_import(tree, "time")
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        seconds = parameters.get("seconds", 0.05)
+        return (
+            f"Introduce a delay of {seconds} seconds in the {point.qualified_function} function "
+            "to simulate a slow dependency."
+        )
+
+
+class TimeoutFaultOperator(FaultOperator):
+    """Raise ``TimeoutError`` to emulate an operation exceeding its deadline."""
+
+    name = "raise_timeout"
+    fault_type = FaultType.TIMEOUT
+    summary = "operation timeout"
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=function.lineno,
+                node_index=0,
+                detail="body_start",
+                class_name=class_name,
+            )
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        message = parameters.get("message", f"{function.name} timed out")
+        insert_at = ast_utils.body_insert_index(function)
+        function.body.insert(insert_at, ast_utils.make_raise("TimeoutError", message))
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        return (
+            f"Simulate a scenario where an operation in the {point.qualified_function} function "
+            "fails due to a timeout, causing an unhandled exception."
+        )
+
+
+class IntermittentTimeoutOperator(FaultOperator):
+    """Raise ``TimeoutError`` only on every N-th invocation (transient failure)."""
+
+    name = "intermittent_timeout"
+    fault_type = FaultType.TIMEOUT
+    summary = "intermittent timeout on some invocations"
+
+    def _find_in_function(self, function, class_name):
+        return [
+            InjectionPoint(
+                operator=self.name,
+                function=function.name,
+                lineno=function.lineno,
+                node_index=0,
+                detail="body_start",
+                class_name=class_name,
+            )
+        ]
+
+    def _mutate(self, tree, function, point, rng, parameters):
+        nth = int(parameters.get("nth_call", 3))
+        message = parameters.get("message", f"{function.name} timed out")
+        snippet = (
+            "_injected_calls = globals().setdefault('_injected_call_counts', {})\n"
+            f"_injected_calls['{function.name}'] = _injected_calls.get('{function.name}', 0) + 1\n"
+            f"if _injected_calls['{function.name}'] % {nth} == 0:\n"
+            f"    raise TimeoutError({message!r})\n"
+        )
+        statements = ast.parse(snippet).body
+        insert_at = ast_utils.body_insert_index(function)
+        function.body[insert_at:insert_at] = statements
+
+    def describe(self, point: InjectionPoint, parameters: dict[str, Any]) -> str:
+        nth = parameters.get("nth_call", 3)
+        return (
+            f"Make every {nth}th call to the {point.qualified_function} function fail with a "
+            "timeout, simulating a transient dependency failure."
+        )

@@ -1,0 +1,41 @@
+"""Automated integration and testing of generated faults (Fig. 1, last stage).
+
+Components:
+
+* :class:`WorkspaceManager` / :class:`Workspace` — sandbox directories;
+* :class:`FaultIntegrator` — splices generated faults into target modules;
+* :class:`SandboxRunner` — executes workloads with subprocess timeouts;
+* :class:`FailureClassifier` — maps observations to failure modes;
+* :class:`ExperimentRunner` — end-to-end experiments and batches;
+* :class:`CampaignReport` — aggregation for reports and benchmarks.
+"""
+
+from .experiment import (
+    ExperimentBatch,
+    ExperimentRecord,
+    ExperimentRunner,
+    verify_target_health,
+)
+from .integrator import FaultIntegrator, IntegratedFault
+from .monitors import Classification, ClassificationThresholds, FailureClassifier
+from .report import CampaignReport, records_with_failures
+from .runner import RunObservation, SandboxRunner
+from .workspace import Workspace, WorkspaceManager
+
+__all__ = [
+    "CampaignReport",
+    "Classification",
+    "ClassificationThresholds",
+    "ExperimentBatch",
+    "ExperimentRecord",
+    "ExperimentRunner",
+    "FailureClassifier",
+    "FaultIntegrator",
+    "IntegratedFault",
+    "RunObservation",
+    "SandboxRunner",
+    "Workspace",
+    "WorkspaceManager",
+    "records_with_failures",
+    "verify_target_health",
+]

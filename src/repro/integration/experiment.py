@@ -1,0 +1,180 @@
+"""Fault-injection experiments: integrate, execute, observe, classify.
+
+An :class:`ExperimentRunner` owns a target baseline, a sandbox runner, and a
+failure classifier, and turns individual faults (generated or operator-applied)
+into :class:`~repro.types.InjectionOutcome` records.  This is the "Automated
+Integration and Testing Tool" of Section III-B.4 as an executable component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..config import IntegrationConfig
+from ..errors import ExperimentError, IntegrationError
+from ..injection.operators import AppliedFault
+from ..targets import TargetRunResult, TargetSystem, get_target
+from ..types import FailureMode, GeneratedFault, InjectionOutcome
+from .integrator import FaultIntegrator, IntegratedFault
+from .monitors import Classification, FailureClassifier
+from .runner import SandboxRunner
+from .workspace import WorkspaceManager
+
+#: Faults with these templates/operators can legitimately hang; they are always
+#: executed in subprocess mode regardless of the requested default.
+_HANG_PRONE_MARKERS = ("infinite_loop", "deadlock")
+
+
+@dataclass
+class ExperimentRecord:
+    """One executed experiment with every intermediate artefact retained."""
+
+    outcome: InjectionOutcome
+    integrated: IntegratedFault | None = None
+    classification: Classification | None = None
+    stdout: str = ""
+    stderr: str = ""
+
+
+@dataclass
+class ExperimentBatch:
+    """A collection of experiment records for one target."""
+
+    target_name: str
+    records: list[ExperimentRecord] = field(default_factory=list)
+
+    @property
+    def outcomes(self) -> list[InjectionOutcome]:
+        return [record.outcome for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class ExperimentRunner:
+    """Runs fault-injection experiments against one target system."""
+
+    def __init__(
+        self,
+        target: TargetSystem | str,
+        config: IntegrationConfig | None = None,
+        runner: SandboxRunner | None = None,
+        classifier: FailureClassifier | None = None,
+        workspaces: WorkspaceManager | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.target = get_target(target) if isinstance(target, str) else target
+        self.config = config or IntegrationConfig()
+        self._runner = runner or SandboxRunner(self.config)
+        self._classifier = classifier or FailureClassifier()
+        self._integrator = FaultIntegrator(workspaces)
+        self._seed = seed
+        self._baseline: TargetRunResult | None = None
+
+    @property
+    def baseline(self) -> TargetRunResult:
+        """The pristine target's golden run (computed lazily and cached)."""
+        if self._baseline is None:
+            self._baseline = self.target.baseline(
+                iterations=self.config.workload_iterations, seed=self._seed
+            )
+        return self._baseline
+
+    # -- single experiments -------------------------------------------------------
+
+    def run_generated(self, fault: GeneratedFault, mode: str = "subprocess") -> ExperimentRecord:
+        """Integrate and execute an LLM-generated fault."""
+        try:
+            integrated = self._integrator.integrate_generated(self.target, fault)
+        except IntegrationError as exc:
+            return self._integration_failure(fault.fault_id, str(exc))
+        return self._execute(fault.fault_id, integrated, mode, hint=fault.actions.get("template", ""))
+
+    def run_applied(self, applied: AppliedFault, mode: str = "subprocess") -> ExperimentRecord:
+        """Integrate and execute a fault produced by the injection substrate."""
+        try:
+            integrated = self._integrator.integrate_applied(self.target, applied)
+        except IntegrationError as exc:
+            identifier = f"{applied.operator}@{applied.point.qualified_function}"
+            return self._integration_failure(identifier, str(exc))
+        return self._execute(integrated.fault_id, integrated, mode, hint=applied.operator)
+
+    # -- batches -------------------------------------------------------------------
+
+    def run_batch_generated(
+        self, faults: Iterable[GeneratedFault], mode: str = "subprocess"
+    ) -> ExperimentBatch:
+        batch = ExperimentBatch(target_name=self.target.name)
+        for fault in faults:
+            batch.records.append(self.run_generated(fault, mode=mode))
+        return batch
+
+    def run_batch_applied(
+        self, faults: Iterable[AppliedFault], mode: str = "subprocess"
+    ) -> ExperimentBatch:
+        batch = ExperimentBatch(target_name=self.target.name)
+        for applied in faults:
+            batch.records.append(self.run_applied(applied, mode=mode))
+        return batch
+
+    # -- internals ----------------------------------------------------------------
+
+    def _execute(
+        self, fault_id: str, integrated: IntegratedFault, mode: str, hint: str = ""
+    ) -> ExperimentRecord:
+        baseline = self.baseline
+        effective_mode = mode
+        if any(marker in (hint or "") for marker in _HANG_PRONE_MARKERS):
+            effective_mode = "subprocess"
+        observation = self._runner.run(
+            self.target.name,
+            integrated.module_source,
+            seed=self._seed,
+            iterations=self.config.workload_iterations,
+            mode=effective_mode,
+        )
+        classification = self._classifier.classify(observation, baseline)
+        result = observation.result
+        outcome = InjectionOutcome(
+            fault_id=fault_id,
+            activated=classification.activated,
+            failure_mode=classification.failure_mode,
+            tests_run=self.config.workload_iterations,
+            tests_failed=(result.detected_errors - baseline.detected_errors) if result else 0,
+            duration_seconds=result.duration_seconds if result else self.config.test_timeout_seconds,
+            error_message=result.error_message if result else classification.reason,
+            details={
+                "reason": classification.reason,
+                "target": self.target.name,
+                "changed_lines": integrated.patch.changed_line_count,
+                "mode": effective_mode,
+            },
+        )
+        return ExperimentRecord(
+            outcome=outcome,
+            integrated=integrated,
+            classification=classification,
+            stdout=observation.stdout,
+            stderr=observation.stderr,
+        )
+
+    def _integration_failure(self, fault_id: str, message: str) -> ExperimentRecord:
+        """Record a fault that could not even be integrated (counts as no failure)."""
+        outcome = InjectionOutcome(
+            fault_id=fault_id,
+            activated=False,
+            failure_mode=FailureMode.NO_FAILURE,
+            error_message=f"integration failed: {message}",
+            details={"integration_failed": True, "target": self.target.name},
+        )
+        return ExperimentRecord(outcome=outcome)
+
+
+def verify_target_health(target: TargetSystem | str, iterations: int = 25, seed: int = 0) -> TargetRunResult:
+    """Convenience health check used by examples before launching campaigns."""
+    target = get_target(target) if isinstance(target, str) else target
+    result = target.baseline(iterations=iterations, seed=seed)
+    if not result.completed:
+        raise ExperimentError(f"target {target.name!r} failed its health check")
+    return result

@@ -1,0 +1,149 @@
+"""Sandboxed execution of target workloads against (mutated) module sources.
+
+Two execution modes are provided:
+
+* ``subprocess`` (default for campaigns) — the workload runs in a separate
+  Python process with a hard timeout, so injected hangs, deadlocks, and
+  infinite loops are observed as timeouts rather than wedging the harness;
+* ``inprocess`` — the workload runs in the current interpreter, which is much
+  faster and is what unit tests and quick examples use for faults that cannot
+  hang.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..config import IntegrationConfig
+from ..errors import SandboxError
+from ..targets import TargetRunResult, get_target
+
+_DRIVER = """
+import json
+import sys
+
+from repro.targets import get_target
+
+target = get_target(sys.argv[1])
+with open(sys.argv[2], "r") as handle:
+    source = handle.read()
+result = target.execute(source=source, iterations=int(sys.argv[3]), seed=int(sys.argv[4]))
+sys.stdout.write(json.dumps(result.to_dict()))
+"""
+
+
+@dataclass
+class RunObservation:
+    """What the runner observed: the run result plus harness-level signals."""
+
+    result: TargetRunResult | None
+    timed_out: bool = False
+    harness_error: str | None = None
+    stdout: str = ""
+    stderr: str = ""
+
+    @property
+    def completed(self) -> bool:
+        return self.result is not None and self.result.completed
+
+
+class SandboxRunner:
+    """Runs target workloads against module sources with timeout protection."""
+
+    def __init__(self, config: IntegrationConfig | None = None) -> None:
+        self._config = config or IntegrationConfig()
+
+    @property
+    def config(self) -> IntegrationConfig:
+        return self._config
+
+    def run(
+        self,
+        target_name: str,
+        module_source: str,
+        seed: int = 0,
+        iterations: int | None = None,
+        mode: str = "subprocess",
+    ) -> RunObservation:
+        """Execute the target's workload against ``module_source``."""
+        iterations = iterations or self._config.workload_iterations
+        if mode == "inprocess":
+            return self._run_inprocess(target_name, module_source, seed, iterations)
+        if mode == "subprocess":
+            return self._run_subprocess(target_name, module_source, seed, iterations)
+        raise SandboxError(f"unknown runner mode {mode!r}; use 'subprocess' or 'inprocess'")
+
+    # -- modes --------------------------------------------------------------------
+
+    def _run_inprocess(
+        self, target_name: str, module_source: str, seed: int, iterations: int
+    ) -> RunObservation:
+        target = get_target(target_name)
+        result = target.execute(source=module_source, iterations=iterations, seed=seed)
+        return RunObservation(result=result)
+
+    def _run_subprocess(
+        self, target_name: str, module_source: str, seed: int, iterations: int
+    ) -> RunObservation:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="nfi-run-") as temp_dir:
+            module_path = Path(temp_dir) / "module_under_test.py"
+            module_path.write_text(module_source)
+            command = [
+                sys.executable,
+                "-c",
+                _DRIVER,
+                target_name,
+                str(module_path),
+                str(iterations),
+                str(seed),
+            ]
+            try:
+                completed = subprocess.run(
+                    command,
+                    capture_output=self._config.capture_output,
+                    timeout=self._config.test_timeout_seconds,
+                    text=True,
+                    check=False,
+                )
+            except subprocess.TimeoutExpired as exc:
+                return RunObservation(
+                    result=None,
+                    timed_out=True,
+                    stdout=(exc.stdout or "") if isinstance(exc.stdout, str) else "",
+                    stderr=(exc.stderr or "") if isinstance(exc.stderr, str) else "",
+                )
+        stdout = completed.stdout or ""
+        stderr = completed.stderr or ""
+        if completed.returncode != 0:
+            return RunObservation(
+                result=None,
+                harness_error=f"workload process exited with status {completed.returncode}",
+                stdout=stdout,
+                stderr=stderr,
+            )
+        try:
+            payload = json.loads(stdout.strip().splitlines()[-1])
+        except (ValueError, IndexError) as exc:
+            return RunObservation(
+                result=None,
+                harness_error=f"could not parse workload output: {exc}",
+                stdout=stdout,
+                stderr=stderr,
+            )
+        result = TargetRunResult(
+            target=payload["target"],
+            completed=payload["completed"],
+            duration_seconds=payload["duration_seconds"],
+            metrics=payload.get("metrics", {}),
+            violations=payload.get("violations", []),
+            error_type=payload.get("error_type"),
+            error_message=payload.get("error_message"),
+            detected_errors=payload.get("detected_errors", 0),
+        )
+        return RunObservation(result=result, stdout=stdout, stderr=stderr)

@@ -1,0 +1,92 @@
+"""Sandboxed workspaces for integrating generated faults.
+
+A workspace is an isolated directory holding one version of a target module's
+source (pristine or mutated).  Keeping every candidate fault in its own
+workspace means experiments never contaminate each other and failed runs can be
+inspected after the fact when ``keep`` is requested.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import SandboxError
+
+
+@dataclass
+class Workspace:
+    """An isolated directory containing one module version under test."""
+
+    root: Path
+    module_path: Path
+    label: str = "workspace"
+    keep: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    def write_module(self, source: str) -> Path:
+        """(Over)write the module source in this workspace."""
+        self.module_path.write_text(source)
+        return self.module_path
+
+    def read_module(self) -> str:
+        if not self.module_path.exists():
+            raise SandboxError(f"workspace {self.label!r} has no module file")
+        return self.module_path.read_text()
+
+    def write_file(self, name: str, content: str) -> Path:
+        """Write an auxiliary file (logs, reports) into the workspace."""
+        path = self.root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+        return path
+
+    def cleanup(self) -> None:
+        """Remove the workspace directory unless it is marked to be kept."""
+        if self.keep:
+            return
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.cleanup()
+
+
+class WorkspaceManager:
+    """Creates and tracks sandbox workspaces."""
+
+    def __init__(self, base_dir: str | Path | None = None, keep: bool = False) -> None:
+        self._base_dir = Path(base_dir) if base_dir else None
+        self._keep = keep
+        self._created: list[Workspace] = []
+
+    def create(self, label: str, source: str, module_filename: str = "target_module.py") -> Workspace:
+        """Create a new workspace seeded with ``source``."""
+        if self._base_dir is not None:
+            self._base_dir.mkdir(parents=True, exist_ok=True)
+            root = Path(tempfile.mkdtemp(prefix=f"{label}-", dir=self._base_dir))
+        else:
+            root = Path(tempfile.mkdtemp(prefix=f"nfi-{label}-"))
+        workspace = Workspace(
+            root=root,
+            module_path=root / module_filename,
+            label=label,
+            keep=self._keep,
+        )
+        workspace.write_module(source)
+        self._created.append(workspace)
+        return workspace
+
+    @property
+    def workspaces(self) -> list[Workspace]:
+        return list(self._created)
+
+    def cleanup_all(self) -> None:
+        """Remove every workspace created by this manager (unless kept)."""
+        for workspace in self._created:
+            workspace.cleanup()
+        self._created = [workspace for workspace in self._created if workspace.keep]

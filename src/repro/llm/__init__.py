@@ -1,0 +1,50 @@
+"""The generation model substrate: an offline, trainable stand-in for the LLM.
+
+Components:
+
+* :class:`FeatureEncoder` — prompt → fixed-size feature vector;
+* :class:`PolicyNetwork` — multi-head softmax policy over the decision schema;
+* :class:`Decoder` — greedy / temperature / top-k / nucleus decoding;
+* :class:`CodeGrammar` — decisions → syntactically valid faulty Python;
+* :class:`FaultGenerator` — the LLM-like facade used by the pipeline;
+* :class:`SFTTrainer` — supervised fine-tuning on SFI-generated datasets;
+* :func:`save_checkpoint` / :func:`load_checkpoint` — model persistence.
+"""
+
+from .checkpoints import load_checkpoint, save_checkpoint
+from .decisions import (
+    DECISION_SLOTS,
+    DecisionVector,
+    decision_distance,
+    reference_decisions,
+    slot_sizes,
+)
+from .decoder import Decoder, DecodingResult
+from .features import FeatureEncoder
+from .generator import FaultGenerator, GenerationCandidate
+from .grammar import CodeGrammar, RenderedFault
+from .network import ForwardResult, Gradients, PolicyNetwork
+from .sft import SFTExample, SFTReport, SFTTrainer
+
+__all__ = [
+    "DECISION_SLOTS",
+    "CodeGrammar",
+    "DecisionVector",
+    "Decoder",
+    "DecodingResult",
+    "FaultGenerator",
+    "FeatureEncoder",
+    "ForwardResult",
+    "GenerationCandidate",
+    "Gradients",
+    "PolicyNetwork",
+    "RenderedFault",
+    "SFTExample",
+    "SFTReport",
+    "SFTTrainer",
+    "decision_distance",
+    "load_checkpoint",
+    "reference_decisions",
+    "save_checkpoint",
+    "slot_sizes",
+]

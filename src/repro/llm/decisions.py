@@ -1,0 +1,169 @@
+"""The decision schema of the fault-generation model.
+
+Instead of emitting free-form tokens, the offline generation model emits a
+small number of *decisions* — which fault template to realise, how to trigger
+it, how the surrounding code handles it, where to place it, and how severe to
+make it.  A grammar (:mod:`repro.llm.grammar`) renders any complete decision
+assignment into syntactically valid faulty Python, so the model's output space
+is exactly the space of faults the injection substrate can express.
+
+Each decision slot is categorical; the policy network has one softmax head per
+slot.  The mapping between :class:`~repro.types.FaultSpec` fields and decision
+values is also defined here so that supervised fine-tuning targets can be
+derived mechanically from injected-fault datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import GenerationError
+from ..types import FaultSpec, FaultType, HandlingStyle, PlacementStyle, TriggerKind
+
+#: Fault templates the grammar can render.  Every concrete FaultType has one.
+TEMPLATES: tuple[str, ...] = tuple(fault_type.value for fault_type in FaultType.concrete())
+
+TRIGGERS: tuple[str, ...] = tuple(kind.value for kind in TriggerKind)
+
+HANDLINGS: tuple[str, ...] = tuple(style.value for style in HandlingStyle)
+
+PLACEMENTS: tuple[str, ...] = tuple(style.value for style in PlacementStyle)
+
+SEVERITIES: tuple[str, ...] = ("low", "medium", "high")
+
+#: Ordered decision slots; the policy network creates one head per entry.
+DECISION_SLOTS: dict[str, tuple[str, ...]] = {
+    "template": TEMPLATES,
+    "trigger": TRIGGERS,
+    "handling": HANDLINGS,
+    "placement": PLACEMENTS,
+    "severity": SEVERITIES,
+}
+
+
+@dataclass(frozen=True)
+class DecisionVector:
+    """A complete assignment of every decision slot."""
+
+    template: str
+    trigger: str
+    handling: str
+    placement: str
+    severity: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "template": self.template,
+            "trigger": self.trigger,
+            "handling": self.handling,
+            "placement": self.placement,
+            "severity": self.severity,
+        }
+
+    def to_indices(self) -> dict[str, int]:
+        """Slot name -> index of the chosen value (for training targets)."""
+        return {slot: DECISION_SLOTS[slot].index(value) for slot, value in self.to_dict().items()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, str]) -> "DecisionVector":
+        vector = cls(
+            template=data["template"],
+            trigger=data["trigger"],
+            handling=data["handling"],
+            placement=data["placement"],
+            severity=data["severity"],
+        )
+        vector.validate()
+        return vector
+
+    @classmethod
+    def from_indices(cls, indices: Mapping[str, int]) -> "DecisionVector":
+        values = {slot: DECISION_SLOTS[slot][index] for slot, index in indices.items()}
+        return cls.from_dict(values)
+
+    def validate(self) -> None:
+        """Raise :class:`GenerationError` if any slot holds an unknown value."""
+        for slot, value in self.to_dict().items():
+            if value not in DECISION_SLOTS[slot]:
+                raise GenerationError(f"invalid value {value!r} for decision slot {slot!r}")
+
+    @property
+    def fault_type(self) -> FaultType:
+        return FaultType(self.template)
+
+    @property
+    def handling_style(self) -> HandlingStyle:
+        return HandlingStyle(self.handling)
+
+    @property
+    def trigger_kind(self) -> TriggerKind:
+        return TriggerKind(self.trigger)
+
+    @property
+    def placement_style(self) -> PlacementStyle:
+        return PlacementStyle(self.placement)
+
+    @property
+    def severity_factor(self) -> float:
+        """Numeric multiplier applied to template parameters (delay, payload, ...)."""
+        return {"low": 0.5, "medium": 1.0, "high": 2.0}[self.severity]
+
+
+def reference_decisions(spec: FaultSpec) -> DecisionVector:
+    """The decision assignment a perfectly aligned model would emit for ``spec``.
+
+    This is the supervision signal for SFT (targets derived from the injected
+    dataset) and the yardstick the simulated testers use when rating candidate
+    faults during RLHF.
+    """
+    fault_type = spec.fault_type if spec.fault_type is not FaultType.UNKNOWN else FaultType.EXCEPTION
+    handling = spec.handling
+    directives = spec.directives
+    if directives.get("wants_retry"):
+        handling = HandlingStyle.RETRY
+    elif directives.get("wants_fallback"):
+        handling = HandlingStyle.FALLBACK
+    elif directives.get("wants_unhandled"):
+        handling = HandlingStyle.UNHANDLED
+    elif directives.get("wants_logging") and handling is HandlingStyle.UNHANDLED:
+        handling = HandlingStyle.LOGGED_ONLY
+
+    placement = PlacementStyle.WRAP_BODY
+    if fault_type in (FaultType.DELAY, FaultType.MEMORY_LEAK, FaultType.RESOURCE_LEAK):
+        placement = PlacementStyle.BODY_START
+    elif fault_type in (FaultType.OFF_BY_ONE, FaultType.INFINITE_LOOP):
+        placement = PlacementStyle.INSIDE_LOOP
+    elif fault_type in (FaultType.WRONG_RETURN, FaultType.MISSING_RETURN, FaultType.DATA_CORRUPTION):
+        placement = PlacementStyle.BEFORE_RETURN
+
+    severity = "medium"
+    seconds = spec.parameters.get("seconds")
+    if isinstance(seconds, (int, float)):
+        severity = "low" if seconds < 0.05 else ("high" if seconds > 1.0 else "medium")
+
+    return DecisionVector(
+        template=fault_type.value,
+        trigger=spec.trigger.kind.value,
+        handling=handling.value,
+        placement=placement.value,
+        severity=severity,
+    )
+
+
+def slot_sizes() -> dict[str, int]:
+    """Number of categorical options per decision slot."""
+    return {slot: len(values) for slot, values in DECISION_SLOTS.items()}
+
+
+def decision_distance(left: DecisionVector, right: DecisionVector, weights: Mapping[str, float] | None = None) -> float:
+    """Weighted fraction of decision slots on which two assignments disagree."""
+    default_weights = {"template": 3.0, "trigger": 1.5, "handling": 2.0, "placement": 1.0, "severity": 0.5}
+    weights = dict(default_weights, **(weights or {}))
+    total = sum(weights.values())
+    distance = 0.0
+    left_map, right_map = left.to_dict(), right.to_dict()
+    for slot, weight in weights.items():
+        if left_map[slot] != right_map[slot]:
+            distance += weight
+    return distance / total

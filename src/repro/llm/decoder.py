@@ -1,0 +1,132 @@
+"""Decoding strategies over the policy's per-slot distributions.
+
+Mirrors the sampling controls of hosted LLM APIs: greedy decoding, temperature
+sampling, top-k and nucleus (top-p) truncation.  The decoder returns both the
+chosen :class:`DecisionVector` and its joint log-probability under the
+*untruncated* distribution, which the RLHF policy-gradient step needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import GenerationError
+from ..rng import SeededRNG
+from .decisions import DECISION_SLOTS, DecisionVector
+
+
+@dataclass
+class DecodingResult:
+    """A decoded decision assignment plus sampling metadata."""
+
+    decisions: DecisionVector
+    logprob: float
+    slot_probabilities: dict[str, float]
+    strategy: str
+
+
+class Decoder:
+    """Applies a decoding strategy to per-slot probability distributions."""
+
+    def __init__(self, config: ModelConfig | None = None, rng: SeededRNG | None = None) -> None:
+        self._config = config or ModelConfig()
+        self._rng = rng or SeededRNG(self._config.seed, namespace="decoder")
+
+    def greedy(self, distributions: dict[str, np.ndarray]) -> DecodingResult:
+        """Pick the argmax value for every slot."""
+        choices = {slot: int(np.argmax(probs)) for slot, probs in distributions.items()}
+        return self._result(distributions, choices, strategy="greedy")
+
+    def sample(
+        self,
+        distributions: dict[str, np.ndarray],
+        temperature: float | None = None,
+        top_k: int | None = None,
+        top_p: float | None = None,
+    ) -> DecodingResult:
+        """Sample each slot with temperature / top-k / nucleus truncation."""
+        temperature = temperature if temperature is not None else self._config.temperature
+        top_k = top_k if top_k is not None else self._config.top_k
+        top_p = top_p if top_p is not None else self._config.top_p
+        if temperature <= 0:
+            raise GenerationError("temperature must be positive")
+        choices: dict[str, int] = {}
+        for slot, probs in distributions.items():
+            adjusted = self._apply_temperature(probs, temperature)
+            adjusted = self._truncate(adjusted, top_k, top_p)
+            choices[slot] = int(self._rng.generator.choice(len(adjusted), p=adjusted))
+        return self._result(distributions, choices, strategy="sample")
+
+    def diverse_candidates(
+        self,
+        distributions: dict[str, np.ndarray],
+        count: int,
+        temperature: float | None = None,
+    ) -> list[DecodingResult]:
+        """Greedy candidate first, then sampled candidates (deduplicated)."""
+        if count <= 0:
+            raise GenerationError("candidate count must be positive")
+        results = [self.greedy(distributions)]
+        seen = {tuple(sorted(results[0].decisions.to_dict().items()))}
+        attempts = 0
+        while len(results) < count and attempts < count * 10:
+            attempts += 1
+            candidate = self.sample(distributions, temperature=temperature or max(self._config.temperature, 1.2))
+            key = tuple(sorted(candidate.decisions.to_dict().items()))
+            if key not in seen:
+                seen.add(key)
+                results.append(candidate)
+        while len(results) < count:
+            results.append(self.sample(distributions, temperature=temperature or 1.5))
+        return results[:count]
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _apply_temperature(probs: np.ndarray, temperature: float) -> np.ndarray:
+        logits = np.log(probs + 1e-12) / temperature
+        shifted = np.exp(logits - np.max(logits))
+        return shifted / np.sum(shifted)
+
+    @staticmethod
+    def _truncate(probs: np.ndarray, top_k: int | None, top_p: float | None) -> np.ndarray:
+        adjusted = probs.copy()
+        if top_k is not None and top_k < len(adjusted):
+            threshold_index = np.argsort(adjusted)[-top_k:]
+            mask = np.zeros_like(adjusted, dtype=bool)
+            mask[threshold_index] = True
+            adjusted[~mask] = 0.0
+        if top_p is not None and 0.0 < top_p < 1.0:
+            order = np.argsort(adjusted)[::-1]
+            cumulative = np.cumsum(adjusted[order])
+            cutoff = int(np.searchsorted(cumulative, top_p)) + 1
+            keep = order[:cutoff]
+            mask = np.zeros_like(adjusted, dtype=bool)
+            mask[keep] = True
+            adjusted[~mask] = 0.0
+        total = np.sum(adjusted)
+        if total <= 0:
+            return probs
+        return adjusted / total
+
+    @staticmethod
+    def _result(
+        distributions: dict[str, np.ndarray], choices: dict[str, int], strategy: str
+    ) -> DecodingResult:
+        values = {slot: DECISION_SLOTS[slot][index] for slot, index in choices.items()}
+        decisions = DecisionVector.from_dict(values)
+        logprob = 0.0
+        slot_probabilities = {}
+        for slot, index in choices.items():
+            probability = float(distributions[slot][index])
+            slot_probabilities[slot] = probability
+            logprob += float(np.log(probability + 1e-12))
+        return DecodingResult(
+            decisions=decisions,
+            logprob=logprob,
+            slot_probabilities=slot_probabilities,
+            strategy=strategy,
+        )

@@ -1,0 +1,106 @@
+"""Feature encoding of generation prompts.
+
+The encoder flattens a :class:`~repro.nlp.prompt_builder.GenerationPrompt`
+into a fixed-size numpy vector: one-hot encodings of the categorical spec
+fields, boolean directive and code-context flags, and a hashed bag-of-words of
+the description.  Hashing keeps the vector size independent of vocabulary
+growth, which is the property a real tokenizer/embedding stack provides.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import ConfigurationError
+from ..types import FaultType, HandlingStyle, TriggerKind
+from ..nlp.prompt_builder import GenerationPrompt
+
+_FAULT_TYPES = [fault_type.value for fault_type in FaultType]
+_TRIGGERS = [kind.value for kind in TriggerKind]
+_HANDLINGS = [style.value for style in HandlingStyle]
+_DIRECTIVE_FLAGS = (
+    "wants_retry",
+    "wants_logging",
+    "wants_unhandled",
+    "wants_fallback",
+    "replaces_previous_behaviour",
+)
+_CODE_FLAGS = ("has_code", "selected_has_try", "selected_has_loop", "selected_has_return")
+
+
+def _stable_bucket(token: str, buckets: int) -> int:
+    digest = hashlib.md5(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % buckets
+
+
+class FeatureEncoder:
+    """Maps generation prompts to fixed-size feature vectors."""
+
+    def __init__(self, config: ModelConfig | None = None) -> None:
+        self._config = config or ModelConfig()
+        self._fixed_size = (
+            len(_FAULT_TYPES)
+            + len(_TRIGGERS)
+            + len(_HANDLINGS)
+            + len(_DIRECTIVE_FLAGS)
+            + len(_CODE_FLAGS)
+            + 3  # confidence, has_condition, has_probability
+        )
+        if self._config.feature_dim <= self._fixed_size + 8:
+            raise ConfigurationError(
+                f"feature_dim must exceed {self._fixed_size + 8} to leave room for hashed text features"
+            )
+        self._hash_size = self._config.feature_dim - self._fixed_size
+
+    @property
+    def dimension(self) -> int:
+        """Total length of encoded feature vectors."""
+        return self._config.feature_dim
+
+    def encode(self, prompt: GenerationPrompt) -> np.ndarray:
+        """Encode a prompt into a float vector of length :attr:`dimension`."""
+        features = prompt.to_features()
+        fixed = np.zeros(self._fixed_size, dtype=np.float64)
+        offset = 0
+
+        offset = self._one_hot(fixed, offset, _FAULT_TYPES, features["fault_type"])
+        offset = self._one_hot(fixed, offset, _TRIGGERS, features["trigger_kind"])
+        offset = self._one_hot(fixed, offset, _HANDLINGS, features["handling"])
+
+        directives = features.get("directives", {})
+        for flag in _DIRECTIVE_FLAGS:
+            fixed[offset] = 1.0 if directives.get(flag) else 0.0
+            offset += 1
+
+        code = features.get("code", {})
+        for flag in _CODE_FLAGS:
+            fixed[offset] = 1.0 if code.get(flag) else 0.0
+            offset += 1
+
+        fixed[offset] = float(features.get("confidence", 0.0))
+        fixed[offset + 1] = 1.0 if features.get("has_condition") else 0.0
+        fixed[offset + 2] = 1.0 if features.get("has_probability") else 0.0
+
+        hashed = np.zeros(self._hash_size, dtype=np.float64)
+        tokens = list(features.get("description_words", []))
+        tokens.extend(f"entity:{label}" for label in features.get("entity_labels", []))
+        tokens.extend(f"call:{name}" for name in code.get("selected_calls", []))
+        tokens.extend(f"arg:{name}" for name in code.get("selected_args", []))
+        for token in tokens:
+            hashed[_stable_bucket(token, self._hash_size)] += 1.0
+        norm = np.linalg.norm(hashed)
+        if norm > 0:
+            hashed /= norm
+
+        return np.concatenate([fixed, hashed])
+
+    @staticmethod
+    def _one_hot(vector: np.ndarray, offset: int, vocabulary: list[str], value: str) -> int:
+        try:
+            vector[offset + vocabulary.index(value)] = 1.0
+        except ValueError:
+            pass
+        return offset + len(vocabulary)

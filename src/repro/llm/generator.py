@@ -1,0 +1,229 @@
+"""The fault code generator: the library's stand-in for the paper's LLM.
+
+:class:`FaultGenerator` composes the feature encoder, the policy network, the
+decoder, and the code grammar into one object with an LLM-like interface:
+
+* :meth:`generate` — produce one faulty code snippet for a prompt;
+* :meth:`candidates` — produce several diverse candidates (for RLHF ranking);
+* :meth:`logprob` — score a decision assignment under the current policy;
+* :meth:`fine_tune_step` — apply one supervised update (used by the SFT
+  trainer);
+
+so the rest of the pipeline is agnostic to whether generations come from this
+offline policy or a hosted model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ModelConfig
+from ..rng import SeededRNG
+from ..types import CodeContext, GeneratedFault, Patch, stable_fault_id
+from ..nlp.prompt_builder import GenerationPrompt
+from .decisions import DECISION_SLOTS, DecisionVector
+from .decoder import Decoder, DecodingResult
+from .features import FeatureEncoder
+from .grammar import CodeGrammar, RenderedFault
+from .network import PolicyNetwork
+
+
+@dataclass
+class GenerationCandidate:
+    """A generated fault together with its decoding metadata."""
+
+    fault: GeneratedFault
+    decisions: DecisionVector
+    rendered: RenderedFault
+    logprob: float
+
+
+class FaultGenerator:
+    """Generates faulty code snippets from structured fault specifications."""
+
+    def __init__(
+        self,
+        config: ModelConfig | None = None,
+        policy: PolicyNetwork | None = None,
+        encoder: FeatureEncoder | None = None,
+        grammar: CodeGrammar | None = None,
+        decoder: Decoder | None = None,
+        rng: SeededRNG | None = None,
+    ) -> None:
+        self.config = config or ModelConfig()
+        self._rng = rng or SeededRNG(self.config.seed, namespace="generator")
+        self.encoder = encoder or FeatureEncoder(self.config)
+        self.policy = policy or PolicyNetwork(self.config, rng=self._rng.fork("policy"))
+        self.grammar = grammar or CodeGrammar(rng=self._rng.fork("grammar"))
+        self.decoder = decoder or Decoder(self.config, rng=self._rng.fork("decoder"))
+
+    @property
+    def model_version(self) -> str:
+        """Human-readable version string recorded on every generated fault."""
+        return f"policy-v{self.policy.version}"
+
+    # -- generation ---------------------------------------------------------------
+
+    def generate(
+        self,
+        prompt: GenerationPrompt,
+        greedy: bool = True,
+        iteration: int = 0,
+        temperature: float | None = None,
+    ) -> GenerationCandidate:
+        """Generate a single faulty code snippet for ``prompt``."""
+        features = self.encoder.encode(prompt)
+        distributions = self._constrained_distributions(prompt, features)
+        if greedy:
+            decoding = self.decoder.greedy(distributions)
+        else:
+            decoding = self.decoder.sample(distributions, temperature=temperature)
+        return self._materialise(prompt, decoding, iteration)
+
+    def candidates(
+        self,
+        prompt: GenerationPrompt,
+        count: int,
+        iteration: int = 0,
+        temperature: float | None = None,
+    ) -> list[GenerationCandidate]:
+        """Generate ``count`` diverse candidates for tester review / ranking."""
+        features = self.encoder.encode(prompt)
+        distributions = self._constrained_distributions(prompt, features)
+        decodings = self.decoder.diverse_candidates(distributions, count, temperature=temperature)
+        return [self._materialise(prompt, decoding, iteration, salt=str(i)) for i, decoding in enumerate(decodings)]
+
+    def forced_slots(self, prompt: GenerationPrompt) -> dict[str, str]:
+        """Decision slots pinned by explicit tester feedback.
+
+        The initial generation is left entirely to the learned policy, but once
+        a tester states a requirement in a refinement round ("introduce a retry
+        mechanism", "make it intermittent"), decoding is constrained so the
+        requirement is honoured deterministically — the decision-level analogue
+        of instruction-constrained decoding.
+        """
+        directives = prompt.feedback_directives
+        forced: dict[str, str] = {}
+        if not directives:
+            return forced
+        handling = directives.get("handling")
+        if handling in DECISION_SLOTS["handling"]:
+            forced["handling"] = handling
+        fault_type = directives.get("fault_type")
+        if fault_type in DECISION_SLOTS["template"]:
+            forced["template"] = fault_type
+        trigger = directives.get("trigger")
+        if trigger in DECISION_SLOTS["trigger"]:
+            forced["trigger"] = trigger
+        severity = directives.get("severity")
+        if severity in DECISION_SLOTS["severity"]:
+            forced["severity"] = severity
+        if directives.get("wants_retry") and "handling" not in forced:
+            forced["handling"] = "retry"
+        if directives.get("wants_fallback") and "handling" not in forced:
+            forced["handling"] = "fallback"
+        if directives.get("wants_unhandled") and "handling" not in forced:
+            forced["handling"] = "unhandled"
+        return forced
+
+    def _spec_constraint(self, prompt: GenerationPrompt) -> dict[str, str]:
+        """Pin the fault template to the spec's fault type when extraction is confident.
+
+        The structured specification *is* the contract between the tester and
+        the generator: when the NLP engine is confident about the requested
+        fault type, the model's freedom lies in how to realise it (handling,
+        trigger, placement, severity), not in which fault to produce.  Disabled
+        via ``ModelConfig.constrain_to_spec`` for the ablation benchmark.
+        """
+        if not self.config.constrain_to_spec:
+            return {}
+        spec = prompt.spec
+        if spec.fault_type.value not in DECISION_SLOTS["template"]:
+            return {}
+        if spec.confidence < self.config.spec_constraint_threshold:
+            return {}
+        return {"template": spec.fault_type.value}
+
+    def _constrained_distributions(self, prompt: GenerationPrompt, features) -> dict:
+        distributions = self.policy.distributions(features)
+        constraints = self._spec_constraint(prompt)
+        constraints.update(self.forced_slots(prompt))
+        for slot, value in constraints.items():
+            index = DECISION_SLOTS[slot].index(value)
+            distributions[slot][:] = 0.0
+            distributions[slot][index] = 1.0
+        return distributions
+
+    def render_decisions(
+        self, prompt: GenerationPrompt, decisions: DecisionVector, iteration: int = 0
+    ) -> GenerationCandidate:
+        """Render an explicit decision assignment (used by tests and ablations)."""
+        features = self.encoder.encode(prompt)
+        logprob = self.policy.log_probability(features, decisions)
+        decoding = DecodingResult(
+            decisions=decisions, logprob=logprob, slot_probabilities={}, strategy="forced"
+        )
+        return self._materialise(prompt, decoding, iteration)
+
+    def logprob(self, prompt: GenerationPrompt, decisions: DecisionVector) -> float:
+        """Joint log-probability of ``decisions`` for ``prompt`` under the policy."""
+        return self.policy.log_probability(self.encoder.encode(prompt), decisions)
+
+    # -- training hooks -----------------------------------------------------------
+
+    def fine_tune_step(self, prompt: GenerationPrompt, target: DecisionVector, learning_rate: float | None = None) -> float:
+        """One supervised update towards ``target``; returns the example NLL."""
+        features = self.encoder.encode(prompt)
+        forward = self.policy.forward(features)
+        loss = -forward.log_probability(target)
+        gradients = self.policy.backward(forward, target)
+        self.policy.apply_gradients(gradients, learning_rate=learning_rate)
+        return loss
+
+    # -- internals ----------------------------------------------------------------
+
+    def _materialise(
+        self,
+        prompt: GenerationPrompt,
+        decoding: DecodingResult,
+        iteration: int,
+        salt: str = "",
+    ) -> GenerationCandidate:
+        rendered = self.grammar.render(prompt, decoding.decisions)
+        patch = self._patch(prompt.context, rendered)
+        fault_id = stable_fault_id(
+            prompt.spec.description,
+            rendered.function_source,
+            salt=f"{iteration}:{salt}:{decoding.strategy}",
+        )
+        fault = GeneratedFault(
+            fault_id=fault_id,
+            spec=prompt.spec,
+            code=rendered.function_source,
+            patch=patch,
+            actions=decoding.decisions.to_dict(),
+            logprob=decoding.logprob,
+            iteration=iteration,
+            model_version=self.model_version,
+            metadata={
+                "strategy": decoding.strategy,
+                "operator": rendered.operator,
+                "notes": list(rendered.notes),
+                "feedback_directives": dict(prompt.feedback_directives),
+            },
+        )
+        return GenerationCandidate(
+            fault=fault, decisions=decoding.decisions, rendered=rendered, logprob=decoding.logprob
+        )
+
+    @staticmethod
+    def _patch(context: CodeContext | None, rendered: RenderedFault) -> Patch | None:
+        if context is None or rendered.module_source is None:
+            return None
+        return Patch(
+            original=context.source,
+            mutated=rendered.module_source,
+            target_path=context.path,
+            function=rendered.function_name,
+            operator=rendered.operator,
+        )

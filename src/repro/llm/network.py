@@ -1,0 +1,207 @@
+"""The fault-generation policy network.
+
+A compact multi-head neural network implemented directly in numpy:
+
+* a shared hidden layer ``h = tanh(W1 x + b1)``;
+* one softmax head per decision slot ``p_s = softmax(W2_s h + b2_s)``.
+
+It exposes exactly the operations an API-backed LLM would need to expose for
+this methodology — conditional distributions over outputs, log-probabilities
+of a given output, supervised updates (fine-tuning), and policy-gradient
+updates (RLHF) — while remaining trainable in milliseconds on a CPU.
+
+Gradients are computed analytically.  Both the supervised cross-entropy update
+and the REINFORCE update share the same backward pass: for a softmax head the
+gradient of ``-log p(chosen)`` w.r.t. the logits is ``p - onehot(chosen)``, and
+the policy-gradient update simply scales that quantity by the (negative)
+advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import ModelError
+from ..rng import SeededRNG
+from .decisions import DECISION_SLOTS, DecisionVector
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - np.max(logits)
+    exponents = np.exp(shifted)
+    return exponents / np.sum(exponents)
+
+
+@dataclass
+class Gradients:
+    """Accumulated parameter gradients for one or more examples."""
+
+    w1: np.ndarray
+    b1: np.ndarray
+    heads_w: dict[str, np.ndarray]
+    heads_b: dict[str, np.ndarray]
+    examples: int = 0
+
+    def add(self, other: "Gradients") -> None:
+        self.w1 += other.w1
+        self.b1 += other.b1
+        for slot in self.heads_w:
+            self.heads_w[slot] += other.heads_w[slot]
+            self.heads_b[slot] += other.heads_b[slot]
+        self.examples += other.examples
+
+
+@dataclass
+class ForwardResult:
+    """Outputs of a forward pass: hidden activations and per-slot distributions."""
+
+    features: np.ndarray
+    hidden: np.ndarray
+    probabilities: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def log_probability(self, decisions: DecisionVector) -> float:
+        """Joint log-probability of a complete decision assignment."""
+        indices = decisions.to_indices()
+        total = 0.0
+        for slot, probs in self.probabilities.items():
+            total += float(np.log(probs[indices[slot]] + 1e-12))
+        return total
+
+
+class PolicyNetwork:
+    """Multi-head softmax policy over the decision schema."""
+
+    def __init__(self, config: ModelConfig | None = None, rng: SeededRNG | None = None) -> None:
+        self.config = config or ModelConfig()
+        rng = rng or SeededRNG(self.config.seed, namespace="policy")
+        scale = 1.0 / np.sqrt(self.config.feature_dim)
+        self.w1 = rng.normal(size=(self.config.hidden_dim, self.config.feature_dim), scale=scale)
+        self.b1 = np.zeros(self.config.hidden_dim)
+        self.heads_w: dict[str, np.ndarray] = {}
+        self.heads_b: dict[str, np.ndarray] = {}
+        head_scale = 1.0 / np.sqrt(self.config.hidden_dim)
+        for slot, values in DECISION_SLOTS.items():
+            self.heads_w[slot] = rng.normal(size=(len(values), self.config.hidden_dim), scale=head_scale)
+            self.heads_b[slot] = np.zeros(len(values))
+        self.version = 0
+
+    # -- inference ---------------------------------------------------------------
+
+    def forward(self, features: np.ndarray) -> ForwardResult:
+        """Compute per-slot probability distributions for one feature vector."""
+        if features.shape != (self.config.feature_dim,):
+            raise ModelError(
+                f"expected feature vector of shape ({self.config.feature_dim},), got {features.shape}"
+            )
+        hidden = np.tanh(self.w1 @ features + self.b1)
+        probabilities = {
+            slot: _softmax(self.heads_w[slot] @ hidden + self.heads_b[slot]) for slot in DECISION_SLOTS
+        }
+        return ForwardResult(features=features, hidden=hidden, probabilities=probabilities)
+
+    def log_probability(self, features: np.ndarray, decisions: DecisionVector) -> float:
+        """Joint log-probability of ``decisions`` given ``features``."""
+        return self.forward(features).log_probability(decisions)
+
+    def distributions(self, features: np.ndarray) -> dict[str, np.ndarray]:
+        """Per-slot probability vectors (copies safe for the decoder to modify)."""
+        result = self.forward(features)
+        return {slot: probs.copy() for slot, probs in result.probabilities.items()}
+
+    # -- training ----------------------------------------------------------------
+
+    def zero_gradients(self) -> Gradients:
+        return Gradients(
+            w1=np.zeros_like(self.w1),
+            b1=np.zeros_like(self.b1),
+            heads_w={slot: np.zeros_like(weights) for slot, weights in self.heads_w.items()},
+            heads_b={slot: np.zeros_like(bias) for slot, bias in self.heads_b.items()},
+        )
+
+    def backward(
+        self,
+        forward: ForwardResult,
+        decisions: DecisionVector,
+        scale: float = 1.0,
+        slot_weights: Mapping[str, float] | None = None,
+    ) -> Gradients:
+        """Gradient of ``scale * -log p(decisions)`` w.r.t. all parameters."""
+        gradients = self.zero_gradients()
+        indices = decisions.to_indices()
+        hidden_grad = np.zeros_like(forward.hidden)
+        for slot, probabilities in forward.probabilities.items():
+            weight = (slot_weights or {}).get(slot, 1.0)
+            logit_grad = probabilities.copy()
+            logit_grad[indices[slot]] -= 1.0
+            logit_grad *= scale * weight
+            gradients.heads_w[slot] += np.outer(logit_grad, forward.hidden)
+            gradients.heads_b[slot] += logit_grad
+            hidden_grad += self.heads_w[slot].T @ logit_grad
+        pre_activation_grad = hidden_grad * (1.0 - forward.hidden**2)
+        gradients.w1 += np.outer(pre_activation_grad, forward.features)
+        gradients.b1 += pre_activation_grad
+        gradients.examples = 1
+        return gradients
+
+    def apply_gradients(self, gradients: Gradients, learning_rate: float | None = None) -> None:
+        """SGD step averaging accumulated gradients over their examples."""
+        if gradients.examples == 0:
+            return
+        learning_rate = learning_rate if learning_rate is not None else self.config.learning_rate
+        scale = learning_rate / gradients.examples
+        self.w1 -= scale * gradients.w1
+        self.b1 -= scale * gradients.b1
+        for slot in self.heads_w:
+            self.heads_w[slot] -= scale * gradients.heads_w[slot]
+            self.heads_b[slot] -= scale * gradients.heads_b[slot]
+        self.version += 1
+
+    def nll(self, features: np.ndarray, decisions: DecisionVector) -> float:
+        """Negative log-likelihood of a decision assignment (training metric)."""
+        return -self.log_probability(features, decisions)
+
+    # -- cloning and state -------------------------------------------------------
+
+    def clone(self) -> "PolicyNetwork":
+        """Deep copy used to freeze a reference policy for the KL penalty."""
+        copy = PolicyNetwork(config=self.config, rng=SeededRNG(self.config.seed, namespace="clone"))
+        copy.load_state(self.state_dict())
+        copy.version = self.version
+        return copy
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {"w1": self.w1.copy(), "b1": self.b1.copy()}
+        for slot in DECISION_SLOTS:
+            state[f"head_w:{slot}"] = self.heads_w[slot].copy()
+            state[f"head_b:{slot}"] = self.heads_b[slot].copy()
+        return state
+
+    def load_state(self, state: Mapping[str, np.ndarray]) -> None:
+        try:
+            self.w1 = np.array(state["w1"], dtype=np.float64)
+            self.b1 = np.array(state["b1"], dtype=np.float64)
+            for slot in DECISION_SLOTS:
+                self.heads_w[slot] = np.array(state[f"head_w:{slot}"], dtype=np.float64)
+                self.heads_b[slot] = np.array(state[f"head_b:{slot}"], dtype=np.float64)
+        except KeyError as exc:
+            raise ModelError(f"checkpoint is missing parameter {exc}") from exc
+        if self.w1.shape != (self.config.hidden_dim, self.config.feature_dim):
+            raise ModelError(
+                "checkpoint dimensions do not match the configured model "
+                f"(expected {(self.config.hidden_dim, self.config.feature_dim)}, got {self.w1.shape})"
+            )
+
+    def kl_divergence(self, features: np.ndarray, reference: "PolicyNetwork") -> float:
+        """KL(self || reference) summed over decision slots for one prompt."""
+        own = self.forward(features).probabilities
+        other = reference.forward(features).probabilities
+        total = 0.0
+        for slot in DECISION_SLOTS:
+            p = own[slot]
+            q = other[slot]
+            total += float(np.sum(p * (np.log(p + 1e-12) - np.log(q + 1e-12))))
+        return total

@@ -1,0 +1,39 @@
+"""The NLP engine: from natural-language fault descriptions to structured specs.
+
+Pipeline stages (Section III-B.1 of the paper):
+
+1. :class:`Tokenizer` / :class:`PosTagger` — tokenisation and tagging;
+2. :class:`EntityRecognizer` — fault-domain named entities;
+3. :class:`RelationExtractor` — dependency-style relations;
+4. :class:`CodeAnalyzer` — structural analysis of the supplied target code;
+5. :class:`FaultSpecExtractor` — assembly of the structured fault spec;
+6. :class:`PromptBuilder` — packaging spec + code context for the model.
+"""
+
+from .code_analyzer import CodeAnalyzer
+from .entities import EntityRecognizer, entities_by_label
+from .pos import PosTag, PosTagger, TaggedToken, content_words
+from .prompt_builder import GenerationPrompt, PromptBuilder, entity_counts
+from .relations import Relation, RelationExtractor, relations_of
+from .spec_extractor import FaultSpecExtractor
+from .tokenizer import Token, Tokenizer, normalize
+
+__all__ = [
+    "CodeAnalyzer",
+    "EntityRecognizer",
+    "FaultSpecExtractor",
+    "GenerationPrompt",
+    "PosTag",
+    "PosTagger",
+    "PromptBuilder",
+    "Relation",
+    "RelationExtractor",
+    "TaggedToken",
+    "Token",
+    "Tokenizer",
+    "content_words",
+    "entities_by_label",
+    "entity_counts",
+    "normalize",
+    "relations_of",
+]

@@ -1,0 +1,126 @@
+"""Static analysis of the target code supplied with a fault description.
+
+The paper's dual-input strategy requires the NLP engine to "analyze the
+provided code to understand its structure, dependencies, and operational
+logic".  The :class:`CodeAnalyzer` builds a :class:`~repro.types.CodeContext`
+summarising exactly that: the functions defined, their arguments, the calls
+they make, the exceptions they raise, and whether they already contain
+try/except, loops, or returns — the features the generation grammar needs to
+place a fault plausibly.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..errors import CodeAnalysisError
+from ..injection import ast_utils
+from ..types import CodeContext, FunctionInfo
+
+
+class CodeAnalyzer:
+    """Builds :class:`CodeContext` objects from raw Python source."""
+
+    def analyze(self, source: str, path: str | None = None, module_name: str | None = None) -> CodeContext:
+        """Parse and summarise ``source`` into a :class:`CodeContext`."""
+        tree = ast_utils.parse_module(source, path=path)
+        functions = [
+            self._function_info(node, class_name) for node, class_name in ast_utils.iter_functions(tree)
+        ]
+        imports = self._imports(tree)
+        return CodeContext(
+            source=source,
+            path=path,
+            module_name=module_name,
+            functions=functions,
+            imports=imports,
+        )
+
+    def select_function(self, context: CodeContext, description: str, hint: str | None = None) -> CodeContext:
+        """Pick the function the description most plausibly targets.
+
+        Selection order: an explicit hint (from the spec extractor), an exact
+        identifier mention in the description, then lexical overlap between the
+        description and each function's name, arguments, calls, and docstring.
+        Single-function modules fall back to that function.
+        """
+        if not context.functions:
+            raise CodeAnalysisError("target code defines no functions to inject into", source_path=context.path)
+        chosen: str | None = None
+        if hint:
+            info = context.function(hint) or context.function(hint.split(".")[-1])
+            if info:
+                chosen = info.qualified_name
+        if chosen is None:
+            chosen = self._match_by_mention(context, description)
+        if chosen is None:
+            chosen = self._match_by_overlap(context, description)
+        if chosen is None:
+            chosen = context.functions[0].qualified_name
+        context.selected_function = chosen
+        return context
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _function_info(self, node: ast_utils.FunctionNode, class_name: str | None) -> FunctionInfo:
+        raises = []
+        for child in ast.walk(node):
+            if isinstance(child, ast.Raise) and child.exc is not None:
+                call = child.exc
+                if isinstance(call, ast.Call) and isinstance(call.func, ast.Name):
+                    raises.append(call.func.id)
+                elif isinstance(call, ast.Name):
+                    raises.append(call.id)
+        return FunctionInfo(
+            name=node.name,
+            lineno=node.lineno,
+            end_lineno=getattr(node, "end_lineno", node.lineno),
+            args=[arg.arg for arg in node.args.args if arg.arg not in ("self", "cls")],
+            calls=sorted(set(ast_utils.call_names(node))),
+            raises=sorted(set(raises)),
+            has_try=ast_utils.contains_node_type(node, ast.Try),
+            has_loop=ast_utils.contains_node_type(node, ast.For) or ast_utils.contains_node_type(node, ast.While),
+            has_return=any(
+                isinstance(child, ast.Return) and child.value is not None for child in ast.walk(node)
+            ),
+            docstring=ast.get_docstring(node),
+            class_name=class_name,
+        )
+
+    @staticmethod
+    def _imports(tree: ast.Module) -> list[str]:
+        imports: list[str] = []
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                imports.extend(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                imports.append(node.module)
+        return sorted(set(imports))
+
+    @staticmethod
+    def _match_by_mention(context: CodeContext, description: str) -> str | None:
+        lowered = description.lower()
+        best: tuple[int, str] | None = None
+        for info in context.functions:
+            for candidate in (info.qualified_name, info.name):
+                position = lowered.find(candidate.lower())
+                if position != -1 and (best is None or len(candidate) > best[0]):
+                    best = (len(candidate), info.qualified_name)
+        return best[1] if best else None
+
+    @staticmethod
+    def _match_by_overlap(context: CodeContext, description: str) -> str | None:
+        words = {word for word in description.lower().replace("_", " ").split() if len(word) > 2}
+        best_score = 0.0
+        best_name: str | None = None
+        for info in context.functions:
+            vocabulary = set(info.name.lower().split("_"))
+            vocabulary.update(part for arg in info.args for part in arg.lower().split("_"))
+            vocabulary.update(part for call in info.calls for part in call.lower().replace(".", "_").split("_"))
+            if info.docstring:
+                vocabulary.update(info.docstring.lower().split())
+            score = len(words & vocabulary)
+            if score > best_score:
+                best_score = score
+                best_name = info.qualified_name
+        return best_name if best_score > 0 else None

@@ -1,0 +1,155 @@
+"""Named-entity recognition for the fault domain.
+
+Entities recognised:
+
+* ``FAULT_KEYWORD`` — phrases signalling the fault type ("race condition");
+* ``COMPONENT`` — system components ("database", "payment service");
+* ``FUNCTION`` — code identifiers naming the injection target;
+* ``RESOURCE`` — leakable resources ("connection", "file handle");
+* ``CONDITION`` — trigger clauses ("when the cart is empty");
+* ``ACTION`` — injection verbs ("introduce", "simulate");
+* ``QUANTITY`` — numbers with optional units ("5 seconds", "30%");
+* ``EXCEPTION_NAME`` — Python exception class names ("TimeoutError").
+
+This is the "named entity recognition" capability the paper attributes to its
+NLP engine (Section III-B.1).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..types import Entity, EntityLabel
+from . import lexicon
+from .tokenizer import Token, Tokenizer
+
+_EXCEPTION_PATTERN = re.compile(r"\b[A-Z][A-Za-z]*(?:Error|Exception|Timeout|Warning)\b")
+_CONDITION_PATTERN = re.compile(
+    r"\b(?:when|whenever|if|in case|once|as soon as)\b(?P<clause>[^,.;]*)", re.IGNORECASE
+)
+_QUANTITY_PATTERN = re.compile(
+    r"\b(?P<value>\d+(?:\.\d+)?)\s*(?P<unit>%|percent|seconds?|secs?|ms|milliseconds?|minutes?|times?|calls?)?\b",
+    re.IGNORECASE,
+)
+
+
+class EntityRecognizer:
+    """Rule- and lexicon-based NER over fault descriptions."""
+
+    def __init__(self, tokenizer: Tokenizer | None = None) -> None:
+        self._tokenizer = tokenizer or Tokenizer()
+
+    def recognize(self, text: str, known_functions: list[str] | None = None) -> list[Entity]:
+        """Extract all entities from ``text``.
+
+        ``known_functions`` (from the code analyser) lets plain words such as
+        "checkout" be recognised as function references when they match the
+        target code, which the paper's dual-input strategy explicitly enables.
+        """
+        entities: list[Entity] = []
+        entities.extend(self._fault_keywords(text))
+        entities.extend(self._exception_names(text))
+        entities.extend(self._conditions(text))
+        entities.extend(self._quantities(text))
+        entities.extend(self._token_entities(text, known_functions or []))
+        return _deduplicate(entities)
+
+    # -- individual recognisers -------------------------------------------------
+
+    def _fault_keywords(self, text: str) -> list[Entity]:
+        lowered = text.lower()
+        found: list[Entity] = []
+        for phrase in sorted(lexicon.FAULT_TYPE_PHRASES, key=len, reverse=True):
+            start = lowered.find(phrase)
+            while start != -1:
+                found.append(
+                    Entity(
+                        text=text[start : start + len(phrase)],
+                        label=EntityLabel.FAULT_KEYWORD,
+                        start=start,
+                        end=start + len(phrase),
+                    )
+                )
+                start = lowered.find(phrase, start + 1)
+        return found
+
+    def _exception_names(self, text: str) -> list[Entity]:
+        return [
+            Entity(
+                text=match.group(0),
+                label=EntityLabel.EXCEPTION_NAME,
+                start=match.start(),
+                end=match.end(),
+            )
+            for match in _EXCEPTION_PATTERN.finditer(text)
+        ]
+
+    def _conditions(self, text: str) -> list[Entity]:
+        entities = []
+        for match in _CONDITION_PATTERN.finditer(text):
+            clause = match.group("clause").strip()
+            if clause:
+                entities.append(
+                    Entity(
+                        text=match.group(0).strip(),
+                        label=EntityLabel.CONDITION,
+                        start=match.start(),
+                        end=match.end(),
+                    )
+                )
+        return entities
+
+    def _quantities(self, text: str) -> list[Entity]:
+        entities = []
+        for match in _QUANTITY_PATTERN.finditer(text):
+            if match.group("unit") is None:
+                continue
+            entities.append(
+                Entity(
+                    text=match.group(0).strip(),
+                    label=EntityLabel.QUANTITY,
+                    start=match.start(),
+                    end=match.end(),
+                )
+            )
+        return entities
+
+    def _token_entities(self, text: str, known_functions: list[str]) -> list[Entity]:
+        known_lookup = {name.lower(): name for name in known_functions}
+        known_bare = {name.split(".")[-1].lower(): name for name in known_functions}
+        entities = []
+        for token in self._tokenizer.tokenize(text):
+            lower = token.lower.rstrip("()")
+            if token.is_identifier or lower in known_lookup or lower in known_bare:
+                label = EntityLabel.FUNCTION
+            elif lower in lexicon.RESOURCE_WORDS:
+                label = EntityLabel.RESOURCE
+            elif lower in lexicon.COMPONENT_WORDS:
+                label = EntityLabel.COMPONENT
+            elif lower in lexicon.ACTION_WORDS:
+                label = EntityLabel.ACTION
+            else:
+                continue
+            entities.append(Entity(text=token.text, label=label, start=token.start, end=token.end))
+        return entities
+
+
+def _deduplicate(entities: list[Entity]) -> list[Entity]:
+    """Drop entities fully contained inside an identical-label entity."""
+    result: list[Entity] = []
+    for entity in sorted(entities, key=lambda e: (e.start, -(e.end - e.start))):
+        contained = any(
+            other.label == entity.label and other.start <= entity.start and entity.end <= other.end
+            for other in result
+        )
+        if not contained:
+            result.append(entity)
+    return result
+
+
+def entities_by_label(entities: list[Entity]) -> dict[EntityLabel, list[Entity]]:
+    """Group entities by their label for convenient downstream access."""
+    grouped: dict[EntityLabel, list[Entity]] = {}
+    for entity in entities:
+        grouped.setdefault(entity.label, []).append(entity)
+    return grouped

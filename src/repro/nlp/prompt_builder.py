@@ -1,0 +1,117 @@
+"""Prompt construction: packaging the fault spec and code context for the model.
+
+With a hosted LLM this stage would emit a text prompt; with the offline policy
+model it emits both a human-readable prompt (useful for logging and for the
+examples) and a flat feature dictionary consumed by the feature encoder.  The
+structure mirrors the "detailed, integrated input that encapsulates both the
+fault's conceptual framework and its practical implementation context" the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..types import CodeContext, EntityLabel, FaultSpec
+
+
+@dataclass
+class GenerationPrompt:
+    """The packaged input handed to the fault-generation model."""
+
+    spec: FaultSpec
+    context: CodeContext | None = None
+    feedback_directives: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def target_function(self) -> str | None:
+        if self.spec.target.class_name and self.spec.target.function:
+            return f"{self.spec.target.class_name}.{self.spec.target.function}"
+        return self.spec.target.function
+
+    def to_features(self) -> dict[str, Any]:
+        """Flatten the prompt into the feature dictionary the encoder consumes."""
+        features: dict[str, Any] = {
+            "fault_type": self.spec.fault_type.value,
+            "trigger_kind": self.spec.trigger.kind.value,
+            "handling": self.spec.handling.value,
+            "has_condition": self.spec.trigger.condition is not None,
+            "has_probability": self.spec.trigger.probability is not None,
+            "has_target_function": self.spec.target.function is not None,
+            "confidence": self.spec.confidence,
+            "description_words": self.spec.description.lower().split(),
+            "entity_labels": [entity.label.value for entity in self.spec.entities],
+            "parameters": dict(self.spec.parameters),
+            "directives": {**self.spec.directives, **self.feedback_directives},
+        }
+        if self.context is not None:
+            selected = self.context.selected or (self.context.functions[0] if self.context.functions else None)
+            features["code"] = {
+                "has_code": True,
+                "function_count": len(self.context.functions),
+                "selected_has_try": bool(selected.has_try) if selected else False,
+                "selected_has_loop": bool(selected.has_loop) if selected else False,
+                "selected_has_return": bool(selected.has_return) if selected else False,
+                "selected_calls": list(selected.calls) if selected else [],
+                "selected_args": list(selected.args) if selected else [],
+            }
+        else:
+            features["code"] = {"has_code": False}
+        return features
+
+    def to_text(self) -> str:
+        """Render a human-readable prompt (what would be sent to a hosted LLM)."""
+        lines = [
+            "### Fault generation request",
+            f"Fault type: {self.spec.fault_type.value}",
+            f"Target function: {self.target_function or 'unspecified'}",
+            f"Trigger: {self.spec.trigger.kind.value}"
+            + (f" ({self.spec.trigger.condition})" if self.spec.trigger.condition else ""),
+            f"Handling style: {self.spec.handling.value}",
+            f"Parameters: {self.spec.parameters}",
+            f"Directives: {dict(self.spec.directives, **self.feedback_directives)}",
+            "",
+            "Tester description:",
+            self.spec.description,
+        ]
+        if self.spec.entities:
+            lines.append("")
+            lines.append("Recognised entities:")
+            for entity in self.spec.entities:
+                lines.append(f"  - [{entity.label.value}] {entity.text}")
+        if self.context is not None:
+            lines.append("")
+            lines.append("Target code:")
+            lines.append(self.context.source.rstrip())
+        return "\n".join(lines)
+
+
+class PromptBuilder:
+    """Builds :class:`GenerationPrompt` objects, merging feedback directives."""
+
+    def build(
+        self,
+        spec: FaultSpec,
+        context: CodeContext | None = None,
+        feedback_directives: dict[str, Any] | None = None,
+    ) -> GenerationPrompt:
+        return GenerationPrompt(
+            spec=spec,
+            context=context,
+            feedback_directives=dict(feedback_directives or {}),
+        )
+
+    def refine(self, prompt: GenerationPrompt, feedback_directives: dict[str, Any]) -> GenerationPrompt:
+        """Fold a new round of feedback directives into an existing prompt."""
+        merged = dict(prompt.feedback_directives)
+        merged.update(feedback_directives)
+        return GenerationPrompt(spec=prompt.spec, context=prompt.context, feedback_directives=merged)
+
+
+def entity_counts(spec: FaultSpec) -> dict[str, int]:
+    """Count recognised entities per label (used by reports and benchmarks)."""
+    counts: dict[str, int] = {label.value: 0 for label in EntityLabel}
+    for entity in spec.entities:
+        counts[entity.label.value] += 1
+    return counts

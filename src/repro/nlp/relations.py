@@ -1,0 +1,113 @@
+"""Light-weight dependency-style relation extraction.
+
+The paper's NLP engine performs "dependency parsing" to understand which fault
+affects which component under which condition.  For the restricted grammar of
+fault descriptions, a pattern-based extractor over POS-tagged tokens recovers
+the same relations a full parser would:
+
+* ``(action, object)`` — e.g. ``introduce -> race condition``;
+* ``(fault, location)`` — e.g. ``timeout -> process_transaction``;
+* ``(fault, condition)`` — e.g. ``timeout -> "when condition C is met"``;
+* ``(subject, failure_verb)`` — e.g. ``database transaction -> fails``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .pos import PosTag, PosTagger, TaggedToken
+from .tokenizer import Tokenizer
+
+_LOCATION_PREPOSITIONS = frozenset({"in", "within", "inside", "into", "of"})
+_FAILURE_VERBS = frozenset(
+    {"fails", "fail", "failed", "crashes", "crash", "hangs", "hang", "times", "raises", "throws", "leaks"}
+)
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A (head, relation, dependent) triple extracted from the description."""
+
+    head: str
+    relation: str
+    dependent: str
+
+    def to_tuple(self) -> tuple[str, str, str]:
+        return (self.head, self.relation, self.dependent)
+
+
+class RelationExtractor:
+    """Extracts head-dependent relations from a fault description."""
+
+    def __init__(self, tagger: PosTagger | None = None) -> None:
+        self._tagger = tagger or PosTagger(Tokenizer())
+
+    def extract(self, text: str) -> list[Relation]:
+        tagged = self._tagger.tag(text)
+        relations: list[Relation] = []
+        relations.extend(self._action_objects(tagged))
+        relations.extend(self._locations(tagged))
+        relations.extend(self._subject_failures(tagged))
+        return relations
+
+    def _action_objects(self, tagged: list[TaggedToken]) -> list[Relation]:
+        """Verb -> following noun-phrase head ("introduce a race condition")."""
+        relations = []
+        for index, item in enumerate(tagged):
+            if item.tag is not PosTag.VERB:
+                continue
+            phrase = self._noun_phrase_after(tagged, index + 1)
+            if phrase:
+                relations.append(Relation(head=item.lower, relation="object", dependent=phrase))
+        return relations
+
+    def _locations(self, tagged: list[TaggedToken]) -> list[Relation]:
+        """Preposition phrases naming the code location ("within the checkout function")."""
+        relations = []
+        for index, item in enumerate(tagged):
+            if item.tag is PosTag.PREP and item.lower in _LOCATION_PREPOSITIONS:
+                phrase = self._noun_phrase_after(tagged, index + 1)
+                if phrase:
+                    relations.append(Relation(head="fault", relation="location", dependent=phrase))
+        return relations
+
+    def _subject_failures(self, tagged: list[TaggedToken]) -> list[Relation]:
+        """Noun phrase followed by a failure verb ("database transaction fails")."""
+        relations = []
+        for index, item in enumerate(tagged):
+            if item.tag is PosTag.VERB and item.lower in _FAILURE_VERBS:
+                phrase = self._noun_phrase_before(tagged, index - 1)
+                if phrase:
+                    relations.append(Relation(head=phrase, relation="fails", dependent=item.lower))
+        return relations
+
+    @staticmethod
+    def _noun_phrase_after(tagged: list[TaggedToken], start: int) -> str:
+        words: list[str] = []
+        for item in tagged[start:]:
+            if item.tag in (PosTag.DET, PosTag.ADJ):
+                if item.tag is PosTag.ADJ:
+                    words.append(item.lower)
+                continue
+            if item.tag in (PosTag.NOUN, PosTag.IDENT, PosTag.NUM):
+                words.append(item.text if item.tag is PosTag.IDENT else item.lower)
+                continue
+            break
+        return " ".join(words)
+
+    @staticmethod
+    def _noun_phrase_before(tagged: list[TaggedToken], end: int) -> str:
+        words: list[str] = []
+        for item in reversed(tagged[: end + 1]):
+            if item.tag in (PosTag.NOUN, PosTag.IDENT, PosTag.ADJ):
+                words.append(item.text if item.tag is PosTag.IDENT else item.lower)
+                continue
+            if item.tag is PosTag.DET:
+                continue
+            break
+        return " ".join(reversed(words))
+
+
+def relations_of(relations: list[Relation], relation: str) -> list[Relation]:
+    """Filter relations by relation name."""
+    return [item for item in relations if item.relation == relation]

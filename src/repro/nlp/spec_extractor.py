@@ -1,0 +1,234 @@
+"""From natural language to a structured fault specification.
+
+The :class:`FaultSpecExtractor` is the "data processing" stage of Fig. 1: it
+dissects the tester's description with the tokenizer, tagger, NER, and relation
+extractor, and restructures it into a :class:`~repro.types.FaultSpec` that the
+generation model can consume.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import SpecificationError
+from ..types import (
+    CodeContext,
+    Entity,
+    EntityLabel,
+    FaultDescription,
+    FaultSpec,
+    FaultType,
+    HandlingStyle,
+    TargetLocation,
+    TriggerKind,
+    TriggerSpec,
+)
+from . import lexicon
+from .code_analyzer import CodeAnalyzer
+from .entities import EntityRecognizer, entities_by_label
+from .relations import RelationExtractor, relations_of
+from .tokenizer import Tokenizer, normalize
+
+_SECONDS_PATTERN = re.compile(
+    r"(\d+(?:\.\d+)?)\s*(seconds?|secs?|ms|milliseconds?|minutes?)", re.IGNORECASE
+)
+_PERCENT_PATTERN = re.compile(r"(\d+(?:\.\d+)?)\s*(?:%|percent)", re.IGNORECASE)
+_NTH_CALL_PATTERN = re.compile(
+    r"every\s+(\d+|\w+)(?:st|nd|rd|th)?\s+(?:call|invocation|request|time)", re.IGNORECASE
+)
+_RETRY_COUNT_PATTERN = re.compile(r"(\d+|\w+)\s+(?:retries|attempts|times)", re.IGNORECASE)
+
+
+class FaultSpecExtractor:
+    """Turns a :class:`FaultDescription` into a structured :class:`FaultSpec`."""
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer | None = None,
+        recognizer: EntityRecognizer | None = None,
+        relation_extractor: RelationExtractor | None = None,
+        code_analyzer: CodeAnalyzer | None = None,
+    ) -> None:
+        self._tokenizer = tokenizer or Tokenizer()
+        self._recognizer = recognizer or EntityRecognizer(self._tokenizer)
+        self._relations = relation_extractor or RelationExtractor()
+        self._analyzer = code_analyzer or CodeAnalyzer()
+
+    # -- public API --------------------------------------------------------------
+
+    def extract(self, description: FaultDescription, context: CodeContext | None = None) -> FaultSpec:
+        """Extract a fault specification, optionally grounded in target code."""
+        text = normalize(description.text)
+        if not text:
+            raise SpecificationError("empty fault description", description=description.text)
+        known_functions = [info.qualified_name for info in context.functions] if context else []
+        entities = self._recognizer.recognize(text, known_functions=known_functions)
+        relations = self._relations.extract(text)
+
+        fault_type, type_score = self._classify_fault_type(text)
+        trigger = self._extract_trigger(text, entities)
+        handling = self._extract_handling(text, fault_type)
+        target = self._extract_target(text, entities, relations, context)
+        parameters = self._extract_parameters(text, entities, fault_type)
+        directives = self._extract_directives(text)
+        confidence = self._confidence(type_score, target, entities)
+
+        return FaultSpec(
+            fault_type=fault_type,
+            target=target,
+            trigger=trigger,
+            handling=handling,
+            entities=entities,
+            parameters=parameters,
+            directives=directives,
+            description=text,
+            confidence=confidence,
+        )
+
+    def extract_from_text(self, text: str, code: str | None = None) -> FaultSpec:
+        """Convenience wrapper building the description and code context."""
+        description = FaultDescription(text=text, code=code)
+        context = None
+        if code:
+            context = self._analyzer.analyze(code)
+        spec = self.extract(description, context=context)
+        if context is not None and spec.target.function:
+            self._analyzer.select_function(context, text, hint=spec.target.function)
+        return spec
+
+    # -- components --------------------------------------------------------------
+
+    def _classify_fault_type(self, text: str) -> tuple[FaultType, float]:
+        """Score every fault type against phrase and word cues; return the best."""
+        lowered = text.lower()
+        scores: dict[FaultType, float] = {}
+        for phrase, (fault_type, weight) in lexicon.FAULT_TYPE_PHRASES.items():
+            occurrences = lowered.count(phrase)
+            if occurrences:
+                scores[fault_type] = scores.get(fault_type, 0.0) + weight * occurrences
+        if not scores:
+            for word in self._tokenizer.words(lowered):
+                if word in lexicon.FAULT_TYPE_WORDS:
+                    fault_type, weight = lexicon.FAULT_TYPE_WORDS[word]
+                    scores[fault_type] = scores.get(fault_type, 0.0) + weight
+        if not scores:
+            return FaultType.UNKNOWN, 0.0
+        best = max(scores.items(), key=lambda item: item[1])
+        return best[0], best[1]
+
+    def _extract_trigger(self, text: str, entities: list[Entity]) -> TriggerSpec:
+        lowered = text.lower()
+        percent = _PERCENT_PATTERN.search(lowered)
+        if percent:
+            probability = min(1.0, float(percent.group(1)) / 100.0)
+            return TriggerSpec(kind=TriggerKind.PROBABILISTIC, probability=probability)
+        if any(marker in lowered for marker in lexicon.TRIGGER_PROBABILISTIC_MARKERS):
+            return TriggerSpec(kind=TriggerKind.PROBABILISTIC, probability=0.5)
+        nth = _NTH_CALL_PATTERN.search(lowered)
+        if nth:
+            raw = nth.group(1).lower()
+            value = int(raw) if raw.isdigit() else lexicon.NUMBER_WORDS.get(raw, 2)
+            return TriggerSpec(kind=TriggerKind.ON_NTH_CALL, nth_call=max(2, value))
+        conditions = entities_by_label(entities).get(EntityLabel.CONDITION, [])
+        if conditions:
+            clause = conditions[0].text
+            for marker in lexicon.TRIGGER_CONDITIONAL_MARKERS:
+                if clause.lower().startswith(marker):
+                    clause = clause[len(marker):].strip()
+                    break
+            if clause:
+                return TriggerSpec(kind=TriggerKind.CONDITIONAL, condition=clause)
+        return TriggerSpec(kind=TriggerKind.ALWAYS)
+
+    def _extract_handling(self, text: str, fault_type: FaultType) -> HandlingStyle:
+        lowered = text.lower()
+        for phrase in sorted(lexicon.HANDLING_PHRASES, key=len, reverse=True):
+            if phrase in lowered:
+                return lexicon.HANDLING_PHRASES[phrase]
+        return HandlingStyle.UNHANDLED
+
+    def _extract_target(
+        self,
+        text: str,
+        entities: list[Entity],
+        relations,
+        context: CodeContext | None,
+    ) -> TargetLocation:
+        grouped = entities_by_label(entities)
+        function_name: str | None = None
+        for entity in grouped.get(EntityLabel.FUNCTION, []):
+            candidate = entity.text.rstrip("()").strip()
+            if context and (context.function(candidate) or context.function(candidate.split(".")[-1])):
+                info = context.function(candidate) or context.function(candidate.split(".")[-1])
+                function_name = info.qualified_name if info else candidate
+                break
+            if function_name is None:
+                function_name = candidate
+        if function_name is None:
+            for relation in relations_of(relations, "location"):
+                candidate = relation.dependent.replace(" ", "_")
+                if context and context.function(candidate):
+                    function_name = candidate
+                    break
+        if function_name is None and context is not None:
+            analyzer = self._analyzer
+            selected = analyzer.select_function(context, text)
+            function_name = selected.selected_function
+        module = context.module_name if context else None
+        class_name = None
+        if function_name and "." in function_name:
+            class_name, function_name = function_name.rsplit(".", 1)
+        return TargetLocation(module=module, function=function_name, class_name=class_name)
+
+    def _extract_parameters(self, text: str, entities: list[Entity], fault_type: FaultType) -> dict:
+        parameters: dict = {}
+        lowered = text.lower()
+        seconds_match = _SECONDS_PATTERN.search(lowered)
+        if seconds_match:
+            value = float(seconds_match.group(1))
+            unit = seconds_match.group(2).lower()
+            factor = lexicon.TIME_UNIT_SECONDS.get(unit, lexicon.TIME_UNIT_SECONDS.get(unit.rstrip("s"), 1.0))
+            parameters["seconds"] = value * factor
+        retry_match = _RETRY_COUNT_PATTERN.search(lowered)
+        if retry_match:
+            raw = retry_match.group(1).lower()
+            parameters["retries"] = int(raw) if raw.isdigit() else lexicon.NUMBER_WORDS.get(raw, 3)
+        exceptions = [e.text for e in entities if e.label == EntityLabel.EXCEPTION_NAME]
+        if exceptions:
+            parameters["exception"] = exceptions[0]
+        elif fault_type in lexicon.FAULT_TYPE_DEFAULT_EXCEPTIONS:
+            parameters["exception"] = lexicon.FAULT_TYPE_DEFAULT_EXCEPTIONS[fault_type]
+        components = [e.text.lower() for e in entities if e.label == EntityLabel.COMPONENT]
+        if components:
+            parameters["components"] = sorted(set(components))
+        resources = [e.text.lower() for e in entities if e.label == EntityLabel.RESOURCE]
+        if resources:
+            parameters["resources"] = sorted(set(resources))
+        return parameters
+
+    def _extract_directives(self, text: str) -> dict:
+        """Boolean directives that steer generation (also used for feedback)."""
+        lowered = text.lower()
+        directives: dict = {}
+        if any(phrase in lowered for phrase in ("retry", "retries", "retrying")):
+            directives["wants_retry"] = True
+        if any(phrase in lowered for phrase in ("log", "logging", "logs")):
+            directives["wants_logging"] = True
+        if any(phrase in lowered for phrase in ("unhandled", "uncaught", "not handled", "no error handling")):
+            directives["wants_unhandled"] = True
+        if any(phrase in lowered for phrase in ("fallback", "default value", "degrade")):
+            directives["wants_fallback"] = True
+        if "instead of" in lowered:
+            directives["replaces_previous_behaviour"] = True
+        return directives
+
+    @staticmethod
+    def _confidence(type_score: float, target: TargetLocation, entities: list[Entity]) -> float:
+        """Heuristic confidence in [0, 1] used by reports and the benchmarks."""
+        confidence = 0.0
+        confidence += min(type_score / 3.0, 1.0) * 0.5
+        if target.function:
+            confidence += 0.3
+        if entities:
+            confidence += min(len(entities) / 8.0, 1.0) * 0.2
+        return round(min(confidence, 1.0), 3)

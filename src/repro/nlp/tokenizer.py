@@ -1,0 +1,101 @@
+"""Tokenisation of natural-language fault descriptions.
+
+The tokeniser keeps character offsets for every token so that downstream named
+entities can point back into the original description, and it recognises code
+identifiers (``process_transaction``, ``OrderService.place_order``) as single
+tokens, which is essential for locating the target function.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    [A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)+   # dotted identifiers
+    | [A-Za-z_][A-Za-z0-9_]*\(\)                          # call-style identifiers foo()
+    | [A-Za-z][A-Za-z0-9]*(?:_[A-Za-z0-9]+)+              # snake_case identifiers
+    | [0-9]+(?:\.[0-9]+)?%?                               # numbers, decimals, percentages
+    | [A-Za-z]+(?:'[a-z]+)?                               # plain words (with apostrophes)
+    | [^\sA-Za-z0-9]                                      # punctuation, one char at a time
+    """,
+    re.VERBOSE,
+)
+
+_SENTENCE_BOUNDARY = re.compile(r"(?<=[.!?;])\s+")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its span in the original text."""
+
+    text: str
+    start: int
+    end: int
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    @property
+    def is_identifier(self) -> bool:
+        """Whether the token looks like a code identifier rather than prose."""
+        stripped = self.text[:-2] if self.text.endswith("()") else self.text
+        if "." in stripped:
+            return all(part.isidentifier() for part in stripped.split("."))
+        return stripped.isidentifier() and ("_" in stripped or self.text.endswith("()"))
+
+    @property
+    def is_number(self) -> bool:
+        text = self.text.rstrip("%")
+        try:
+            float(text)
+            return True
+        except ValueError:
+            return False
+
+    @property
+    def is_percentage(self) -> bool:
+        return self.text.endswith("%") and self.is_number
+
+    def numeric_value(self) -> float | None:
+        """The numeric value of the token, if it is a number."""
+        if not self.is_number:
+            return None
+        return float(self.text.rstrip("%"))
+
+
+class Tokenizer:
+    """Regex-based tokenizer with offsets and sentence segmentation."""
+
+    def tokenize(self, text: str) -> list[Token]:
+        """Split ``text`` into tokens, preserving character offsets."""
+        return [
+            Token(text=match.group(0), start=match.start(), end=match.end())
+            for match in _TOKEN_PATTERN.finditer(text)
+        ]
+
+    def sentences(self, text: str) -> list[str]:
+        """Split ``text`` into sentences on terminal punctuation."""
+        parts = [part.strip() for part in _SENTENCE_BOUNDARY.split(text)]
+        return [part for part in parts if part]
+
+    def words(self, text: str) -> list[str]:
+        """Lower-cased word texts with punctuation removed."""
+        return [token.lower for token in self.tokenize(text) if any(c.isalnum() for c in token.text)]
+
+    def ngrams(self, text: str, max_n: int = 3) -> Iterator[str]:
+        """Yield all lower-cased word n-grams up to length ``max_n``."""
+        words = self.words(text)
+        for n in range(1, max_n + 1):
+            for start in range(0, len(words) - n + 1):
+                yield " ".join(words[start : start + n])
+
+
+def normalize(text: str) -> str:
+    """Normalise whitespace and quotes in a description for stable hashing."""
+    text = text.replace("“", '"').replace("”", '"')
+    text = text.replace("‘", "'").replace("’", "'")
+    return re.sub(r"\s+", " ", text).strip()

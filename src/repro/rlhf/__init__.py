@@ -1,0 +1,47 @@
+"""Reinforcement learning from human feedback for fault generation.
+
+Components:
+
+* :class:`FeedbackParser` — natural-language critiques → refinement directives;
+* :class:`PreferenceDataset` — pairwise comparisons collected from testers;
+* :class:`RewardModel` / :class:`CandidateFeaturizer` — Bradley–Terry reward
+  model over (prompt, candidate) features;
+* :class:`SimulatedTester` / :class:`PreferenceProfile` — offline testers with
+  hidden expectations (the human stand-ins for the experiments);
+* :class:`PolicyOptimizer` — KL-regularised REINFORCE policy updates;
+* :class:`RLHFTrainer` — the full iterative refinement loop.
+"""
+
+from .feedback import FeedbackParser, merge_directives
+from .policy_opt import PolicyOptimizer, PolicyUpdateStats, RewardedSample
+from .preference import PreferenceDataset, PreferencePair
+from .reward_model import CandidateFeaturizer, RewardModel, RewardTrainingReport
+from .simulated_tester import (
+    DEFAULT_PROFILES,
+    PreferenceProfile,
+    SimulatedTester,
+    spec_with_feedback,
+    tester_pool,
+)
+from .trainer import RLHFIterationStats, RLHFReport, RLHFTrainer
+
+__all__ = [
+    "DEFAULT_PROFILES",
+    "CandidateFeaturizer",
+    "FeedbackParser",
+    "PolicyOptimizer",
+    "PolicyUpdateStats",
+    "PreferenceDataset",
+    "PreferencePair",
+    "PreferenceProfile",
+    "RLHFIterationStats",
+    "RLHFReport",
+    "RLHFTrainer",
+    "RewardModel",
+    "RewardTrainingReport",
+    "RewardedSample",
+    "SimulatedTester",
+    "merge_directives",
+    "spec_with_feedback",
+    "tester_pool",
+]

@@ -1,0 +1,106 @@
+"""Parsing tester feedback into structured refinement directives.
+
+In the paper's workflow, tester feedback arrives as free-form natural language
+("introduce a retry mechanism instead of just logging the error").  The parser
+re-uses the NLP lexicon to turn critiques into the same directive dictionary
+the spec extractor produces, so a refinement round is just another prompt with
+extra directives — exactly how the running example iterates.
+"""
+
+from __future__ import annotations
+
+from ..errors import FeedbackError
+from ..nlp import lexicon
+from ..nlp.tokenizer import normalize
+from ..types import Feedback, FaultType, HandlingStyle, TriggerKind
+
+
+class FeedbackParser:
+    """Turns natural-language critiques into structured directives."""
+
+    def parse(self, fault_id: str, critique: str, rating: float | None = None, accept: bool = False) -> Feedback:
+        """Build a :class:`Feedback` record from a free-form critique."""
+        critique = normalize(critique or "")
+        directives = self.directives_from_text(critique)
+        if rating is None:
+            rating = 5.0 if accept else (3.0 if directives else 2.0)
+        if not (0.0 <= rating <= 5.0):
+            raise FeedbackError(f"rating must be within [0, 5], got {rating}")
+        return Feedback(
+            fault_id=fault_id,
+            rating=float(rating),
+            critique=critique,
+            directives=directives,
+            accept=accept,
+        )
+
+    def directives_from_text(self, critique: str) -> dict:
+        """Extract refinement directives from a critique."""
+        lowered = critique.lower()
+        directives: dict = {}
+        if not lowered:
+            return directives
+
+        handling = self._handling(lowered)
+        if handling is not None:
+            directives["handling"] = handling.value
+            if handling is HandlingStyle.RETRY:
+                directives["wants_retry"] = True
+            elif handling is HandlingStyle.FALLBACK:
+                directives["wants_fallback"] = True
+            elif handling is HandlingStyle.UNHANDLED:
+                directives["wants_unhandled"] = True
+            elif handling is HandlingStyle.LOGGED_ONLY:
+                directives["wants_logging"] = True
+
+        fault_type = self._fault_type(lowered)
+        if fault_type is not None:
+            directives["fault_type"] = fault_type.value
+
+        trigger = self._trigger(lowered)
+        if trigger is not None:
+            directives["trigger"] = trigger.value
+
+        if any(phrase in lowered for phrase in ("more severe", "worse", "harder failure", "larger delay", "longer delay")):
+            directives["severity"] = "high"
+        if any(phrase in lowered for phrase in ("less severe", "milder", "smaller delay", "shorter delay")):
+            directives["severity"] = "low"
+        if "instead of" in lowered:
+            directives["replaces_previous_behaviour"] = True
+        if any(phrase in lowered for phrase in ("wrong function", "different function", "not that function")):
+            directives["wrong_target"] = True
+        return directives
+
+    @staticmethod
+    def _handling(lowered: str) -> HandlingStyle | None:
+        for phrase in sorted(lexicon.HANDLING_PHRASES, key=len, reverse=True):
+            if phrase in lowered:
+                return lexicon.HANDLING_PHRASES[phrase]
+        return None
+
+    @staticmethod
+    def _fault_type(lowered: str) -> FaultType | None:
+        best: tuple[float, FaultType] | None = None
+        for phrase, (fault_type, weight) in lexicon.FAULT_TYPE_PHRASES.items():
+            if phrase in lowered and (best is None or weight > best[0]):
+                best = (weight, fault_type)
+        return best[1] if best else None
+
+    @staticmethod
+    def _trigger(lowered: str) -> TriggerKind | None:
+        if any(marker in lowered for marker in lexicon.TRIGGER_PROBABILISTIC_MARKERS):
+            return TriggerKind.PROBABILISTIC
+        if any(marker in lowered for marker in ("every time", "always", "unconditionally")):
+            return TriggerKind.ALWAYS
+        if any(marker in lowered for marker in lexicon.TRIGGER_NTH_CALL_MARKERS) and "call" in lowered:
+            return TriggerKind.ON_NTH_CALL
+        if any(marker + " " in lowered for marker in lexicon.TRIGGER_CONDITIONAL_MARKERS):
+            return TriggerKind.CONDITIONAL
+        return None
+
+
+def merge_directives(base: dict, update: dict) -> dict:
+    """Merge feedback directives, later feedback overriding earlier feedback."""
+    merged = dict(base)
+    merged.update({key: value for key, value in update.items() if value is not None})
+    return merged

@@ -1,0 +1,96 @@
+"""Pairwise preference data for reward-model training.
+
+RLHF in the InstructGPT recipe learns a reward model from *comparisons*: the
+tester prefers candidate A over candidate B for the same prompt.  The dataset
+here stores those comparisons together with the feature vectors of both
+candidates so the Bradley–Terry reward model can be fit without re-encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import RewardModelError
+
+
+@dataclass
+class PreferencePair:
+    """One comparison: ``chosen`` was preferred over ``rejected``."""
+
+    chosen_features: np.ndarray
+    rejected_features: np.ndarray
+    chosen_id: str = ""
+    rejected_id: str = ""
+    margin: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.chosen_features.shape != self.rejected_features.shape:
+            raise RewardModelError(
+                "chosen and rejected feature vectors must have identical shapes "
+                f"({self.chosen_features.shape} vs {self.rejected_features.shape})"
+            )
+        if self.margin <= 0:
+            self.margin = 1.0
+
+
+@dataclass
+class PreferenceDataset:
+    """A growing collection of preference pairs."""
+
+    pairs: list[PreferencePair] = field(default_factory=list)
+
+    def add(self, pair: PreferencePair) -> None:
+        if self.pairs and pair.chosen_features.shape != self.pairs[0].chosen_features.shape:
+            raise RewardModelError("all preference pairs must share one feature dimensionality")
+        self.pairs.append(pair)
+
+    def add_comparison(
+        self,
+        chosen_features: np.ndarray,
+        rejected_features: np.ndarray,
+        chosen_id: str = "",
+        rejected_id: str = "",
+        margin: float = 1.0,
+    ) -> None:
+        self.add(
+            PreferencePair(
+                chosen_features=np.asarray(chosen_features, dtype=np.float64),
+                rejected_features=np.asarray(rejected_features, dtype=np.float64),
+                chosen_id=chosen_id,
+                rejected_id=rejected_id,
+                margin=margin,
+            )
+        )
+
+    def add_ranking(self, ranked: list[tuple[str, np.ndarray]], margins: list[float] | None = None) -> int:
+        """Expand a full ranking (best first) into all implied pairwise comparisons."""
+        added = 0
+        for better_index in range(len(ranked)):
+            for worse_index in range(better_index + 1, len(ranked)):
+                margin = 1.0
+                if margins is not None:
+                    margin = max(0.1, margins[better_index] - margins[worse_index])
+                self.add_comparison(
+                    ranked[better_index][1],
+                    ranked[worse_index][1],
+                    chosen_id=ranked[better_index][0],
+                    rejected_id=ranked[worse_index][0],
+                    margin=margin,
+                )
+                added += 1
+        return added
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[PreferencePair]:
+        return iter(self.pairs)
+
+    @property
+    def feature_dimension(self) -> int:
+        if not self.pairs:
+            raise RewardModelError("preference dataset is empty")
+        return int(self.pairs[0].chosen_features.shape[0])

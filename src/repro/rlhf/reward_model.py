@@ -1,0 +1,162 @@
+"""The reward model: scoring generated faults from tester preferences.
+
+A linear Bradley–Terry model over candidate features: the probability that the
+tester prefers candidate A over candidate B is ``sigmoid(r(A) - r(B))`` with
+``r(x) = w·x + b``.  Training maximises the log-likelihood of the observed
+comparisons (with L2 regularisation), which is the same objective InstructGPT
+uses for its reward model, at a scale that trains in milliseconds.
+
+Candidate features combine the prompt encoding (what the tester asked for)
+with a one-hot encoding of the candidate's decisions and a few surface
+properties of the generated code, so the model can learn both "does the fault
+match the request" and "does the code look the way this tester likes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import RLHFConfig
+from ..errors import RewardModelError
+from ..llm.decisions import DECISION_SLOTS
+from ..llm.features import FeatureEncoder
+from ..llm.generator import GenerationCandidate
+from ..nlp.prompt_builder import GenerationPrompt
+from .preference import PreferenceDataset
+
+_CODE_PROPERTY_COUNT = 6
+
+
+def _sigmoid(value: float) -> float:
+    return 1.0 / (1.0 + np.exp(-value))
+
+
+class CandidateFeaturizer:
+    """Builds the joint (prompt, candidate) feature vector for reward scoring."""
+
+    def __init__(self, encoder: FeatureEncoder) -> None:
+        self._encoder = encoder
+        self._decision_size = sum(len(values) for values in DECISION_SLOTS.values())
+
+    @property
+    def dimension(self) -> int:
+        return self._encoder.dimension + self._decision_size + _CODE_PROPERTY_COUNT
+
+    def featurize(self, prompt: GenerationPrompt, candidate: GenerationCandidate) -> np.ndarray:
+        prompt_features = self._encoder.encode(prompt)
+        decisions = np.zeros(self._decision_size, dtype=np.float64)
+        offset = 0
+        chosen = candidate.decisions.to_dict()
+        for slot, values in DECISION_SLOTS.items():
+            decisions[offset + values.index(chosen[slot])] = 1.0
+            offset += len(values)
+        code = candidate.fault.code
+        code_properties = np.array(
+            [
+                1.0 if "try:" in code else 0.0,
+                1.0 if "raise" in code else 0.0,
+                1.0 if "retry" in code.lower() else 0.0,
+                1.0 if "print(" in code else 0.0,
+                1.0 if "sleep(" in code else 0.0,
+                min(len(code.splitlines()) / 40.0, 1.0),
+            ],
+            dtype=np.float64,
+        )
+        return np.concatenate([prompt_features, decisions, code_properties])
+
+
+@dataclass
+class RewardTrainingReport:
+    """Loss curve and pairwise accuracy of a reward-model fit."""
+
+    losses: list[float] = field(default_factory=list)
+    pairwise_accuracy: float = 0.0
+    pairs: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "losses": list(self.losses),
+            "pairwise_accuracy": self.pairwise_accuracy,
+            "pairs": self.pairs,
+        }
+
+
+class RewardModel:
+    """Linear Bradley–Terry reward model trained on tester comparisons."""
+
+    def __init__(self, dimension: int, config: RLHFConfig | None = None) -> None:
+        if dimension <= 0:
+            raise RewardModelError("feature dimension must be positive")
+        self._config = config or RLHFConfig()
+        self.weights = np.zeros(dimension, dtype=np.float64)
+        self.bias = 0.0
+        self.trained = False
+
+    @property
+    def dimension(self) -> int:
+        return int(self.weights.shape[0])
+
+    def score(self, features: np.ndarray) -> float:
+        """Scalar reward of a candidate's feature vector."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape != self.weights.shape:
+            raise RewardModelError(
+                f"expected features of shape {self.weights.shape}, got {features.shape}"
+            )
+        return float(self.weights @ features + self.bias)
+
+    def preference_probability(self, chosen: np.ndarray, rejected: np.ndarray) -> float:
+        """Modelled probability that ``chosen`` is preferred over ``rejected``."""
+        return _sigmoid(self.score(chosen) - self.score(rejected))
+
+    def fit(self, dataset: PreferenceDataset, l2: float = 1e-3) -> RewardTrainingReport:
+        """Fit the model to a preference dataset with gradient ascent."""
+        report = RewardTrainingReport(pairs=len(dataset))
+        if len(dataset) == 0:
+            return report
+        if dataset.feature_dimension != self.dimension:
+            raise RewardModelError(
+                f"dataset features have dimension {dataset.feature_dimension}, "
+                f"model expects {self.dimension}"
+            )
+        learning_rate = self._config.reward_learning_rate
+        for _epoch in range(self._config.reward_epochs):
+            gradient = np.zeros_like(self.weights)
+            bias_gradient = 0.0
+            loss = 0.0
+            for pair in dataset:
+                difference = pair.chosen_features - pair.rejected_features
+                margin_logit = self.weights @ difference
+                probability = _sigmoid(margin_logit)
+                loss += -np.log(probability + 1e-12) * pair.margin
+                gradient += (probability - 1.0) * difference * pair.margin
+                bias_gradient += 0.0  # bias cancels in pairwise differences
+            gradient = gradient / len(dataset) + l2 * self.weights
+            self.weights -= learning_rate * gradient
+            self.bias -= learning_rate * bias_gradient
+            report.losses.append(float(loss / len(dataset)))
+        report.pairwise_accuracy = self.pairwise_accuracy(dataset)
+        self.trained = True
+        return report
+
+    def pairwise_accuracy(self, dataset: PreferenceDataset) -> float:
+        """Fraction of comparisons the model currently orders correctly."""
+        if len(dataset) == 0:
+            return 0.0
+        correct = sum(
+            1 for pair in dataset if self.score(pair.chosen_features) > self.score(pair.rejected_features)
+        )
+        return correct / len(dataset)
+
+    def state_dict(self) -> dict:
+        return {"weights": self.weights.copy(), "bias": self.bias, "trained": self.trained}
+
+    def load_state(self, state: dict) -> None:
+        weights = np.asarray(state["weights"], dtype=np.float64)
+        if weights.shape != self.weights.shape:
+            raise RewardModelError("reward checkpoint dimensionality mismatch")
+        self.weights = weights
+        self.bias = float(state.get("bias", 0.0))
+        self.trained = bool(state.get("trained", True))

@@ -1,0 +1,161 @@
+"""Simulated testers: the oracle that closes the RLHF loop offline.
+
+Real deployments put a human tester in the loop; the experiments in this
+reproduction use simulated testers with *hidden preference profiles*.  A
+profile perturbs the reference decisions derived from the fault specification
+(for example, this tester always wants a retry mechanism, or prefers
+probabilistic triggers), rates candidates by how closely their decisions match
+the hidden expectation, and emits natural-language critiques in the same
+register as the paper's running example so the feedback parser is exercised
+end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..llm.decisions import DecisionVector, decision_distance, reference_decisions
+from ..llm.generator import GenerationCandidate
+from ..rng import SeededRNG
+from ..types import FaultSpec, Feedback, HandlingStyle, TriggerKind
+
+
+@dataclass
+class PreferenceProfile:
+    """A hidden tester preference applied on top of the reference decisions."""
+
+    name: str = "faithful"
+    preferred_handling: HandlingStyle | None = None
+    preferred_trigger: TriggerKind | None = None
+    preferred_severity: str | None = None
+    strictness: float = 1.0
+    notes: str = ""
+
+    def expectation(self, spec: FaultSpec) -> DecisionVector:
+        """The decision vector this tester actually wants for ``spec``."""
+        expected = reference_decisions(spec)
+        values = expected.to_dict()
+        if self.preferred_handling is not None:
+            values["handling"] = self.preferred_handling.value
+        if self.preferred_trigger is not None:
+            values["trigger"] = self.preferred_trigger.value
+        if self.preferred_severity is not None:
+            values["severity"] = self.preferred_severity
+        return DecisionVector.from_dict(values)
+
+
+#: Profiles used by the benchmarks; the first is the paper's running example
+#: tester, who wants a retry mechanism rather than log-and-ignore handling.
+DEFAULT_PROFILES: tuple[PreferenceProfile, ...] = (
+    PreferenceProfile(
+        name="wants-retry",
+        preferred_handling=HandlingStyle.RETRY,
+        notes="expects realistic error recovery, mirrors the running example",
+    ),
+    PreferenceProfile(name="faithful", notes="accepts whatever matches the description"),
+    PreferenceProfile(
+        name="wants-intermittent",
+        preferred_trigger=TriggerKind.PROBABILISTIC,
+        notes="prefers transient faults over deterministic ones",
+    ),
+    PreferenceProfile(
+        name="wants-severe",
+        preferred_severity="high",
+        strictness=1.2,
+        notes="tests worst-case behaviour",
+    ),
+)
+
+_CRITIQUE_TEMPLATES: dict[str, dict[str, str]] = {
+    "handling": {
+        HandlingStyle.RETRY.value: "introduce a retry mechanism instead of just logging the error",
+        HandlingStyle.LOGGED_ONLY.value: "just log the error instead of recovering from it",
+        HandlingStyle.UNHANDLED.value: "leave the exception unhandled so the failure propagates",
+        HandlingStyle.RERAISE.value: "log the error and then re-raise it so callers see the failure",
+        HandlingStyle.FALLBACK.value: "fall back to a default value instead of failing",
+    },
+    "trigger": {
+        TriggerKind.PROBABILISTIC.value: "make the fault intermittent so it only happens sometimes",
+        TriggerKind.ALWAYS.value: "make the fault happen every time, not just occasionally",
+        TriggerKind.CONDITIONAL.value: "only trigger the fault when the described condition is met",
+        TriggerKind.ON_NTH_CALL.value: "trigger the fault every few calls rather than always",
+    },
+    "severity": {
+        "high": "make the failure more severe",
+        "low": "make the failure less severe",
+        "medium": "use a moderate severity for the failure",
+    },
+}
+
+
+@dataclass
+class SimulatedTester:
+    """Rates candidates against a hidden expectation and writes critiques."""
+
+    profile: PreferenceProfile = field(default_factory=PreferenceProfile)
+    rng: SeededRNG = field(default_factory=lambda: SeededRNG(29, namespace="tester"))
+    accept_threshold: float = 4.5
+
+    def expectation(self, spec: FaultSpec) -> DecisionVector:
+        return self.profile.expectation(spec)
+
+    def rate(self, spec: FaultSpec, candidate: GenerationCandidate) -> float:
+        """Rating in [0, 5]: 5 means the candidate matches the hidden expectation."""
+        expected = self.expectation(spec)
+        distance = decision_distance(candidate.decisions, expected)
+        rating = 5.0 * (1.0 - distance) ** self.profile.strictness
+        return round(max(0.0, min(5.0, rating)), 3)
+
+    def review(self, spec: FaultSpec, candidate: GenerationCandidate) -> Feedback:
+        """Full review: rating, acceptance, and a natural-language critique."""
+        rating = self.rate(spec, candidate)
+        accept = rating >= self.accept_threshold
+        critique = "" if accept else self.critique(spec, candidate)
+        return Feedback(
+            fault_id=candidate.fault.fault_id,
+            rating=rating,
+            critique=critique,
+            directives={},
+            accept=accept,
+        )
+
+    def critique(self, spec: FaultSpec, candidate: GenerationCandidate) -> str:
+        """Natural-language critique describing the largest mismatch first."""
+        expected = self.expectation(spec).to_dict()
+        actual = candidate.decisions.to_dict()
+        complaints: list[str] = []
+        if actual["template"] != expected["template"]:
+            wanted = expected["template"].replace("_", " ")
+            complaints.append(f"this should simulate a {wanted} fault, not a "
+                              f"{actual['template'].replace('_', ' ')}")
+        for slot in ("handling", "trigger", "severity"):
+            if actual[slot] != expected[slot]:
+                complaints.append(_CRITIQUE_TEMPLATES[slot][expected[slot]])
+        if not complaints:
+            complaints.append("the fault placement looks off; put it where the operation actually runs")
+        return "; ".join(complaints[:2])
+
+    def rank(self, spec: FaultSpec, candidates: list[GenerationCandidate]) -> list[GenerationCandidate]:
+        """Candidates ordered from most to least preferred."""
+        return sorted(candidates, key=lambda candidate: self.rate(spec, candidate), reverse=True)
+
+
+def tester_pool(seed: int = 31, profiles: tuple[PreferenceProfile, ...] = DEFAULT_PROFILES) -> list[SimulatedTester]:
+    """A pool of testers with the default preference profiles."""
+    base = SeededRNG(seed, namespace="tester-pool")
+    return [
+        SimulatedTester(profile=profile, rng=base.fork(profile.name))
+        for profile in profiles
+    ]
+
+
+def spec_with_feedback(spec: FaultSpec, directives: dict) -> FaultSpec:
+    """A copy of ``spec`` with feedback directives folded in (for re-generation)."""
+    merged = dict(spec.directives)
+    merged.update(directives)
+    updated = dataclasses.replace(spec, directives=merged)
+    handling = directives.get("handling")
+    if handling:
+        updated = dataclasses.replace(updated, handling=HandlingStyle(handling))
+    return updated

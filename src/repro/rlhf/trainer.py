@@ -1,0 +1,186 @@
+"""The RLHF training loop: candidates → tester feedback → reward model → policy.
+
+One :meth:`RLHFTrainer.run` call executes the iterative refinement process of
+Section III-B.3 for a set of prompts: at every iteration the generator
+proposes several candidates per prompt, the (simulated) testers rank them, the
+rankings extend the preference dataset and re-fit the reward model, and the
+policy is updated with KL-regularised REINFORCE on the reward-model scores.
+The returned history records alignment against the testers' hidden
+expectations, which is the series the RLHF benchmark plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import RLHFConfig
+from ..llm.decisions import decision_distance
+from ..llm.generator import FaultGenerator, GenerationCandidate
+from ..nlp.prompt_builder import GenerationPrompt
+from ..rng import SeededRNG
+from .policy_opt import PolicyOptimizer, RewardedSample
+from .preference import PreferenceDataset
+from .reward_model import CandidateFeaturizer, RewardModel
+from .simulated_tester import SimulatedTester
+
+
+@dataclass
+class RLHFIterationStats:
+    """Per-iteration metrics of the RLHF loop."""
+
+    iteration: int
+    mean_rating: float
+    best_rating: float
+    alignment: float
+    reward_model_accuracy: float
+    mean_reward: float
+    mean_kl: float
+    accepted_fraction: float
+
+    def to_dict(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "mean_rating": self.mean_rating,
+            "best_rating": self.best_rating,
+            "alignment": self.alignment,
+            "reward_model_accuracy": self.reward_model_accuracy,
+            "mean_reward": self.mean_reward,
+            "mean_kl": self.mean_kl,
+            "accepted_fraction": self.accepted_fraction,
+        }
+
+
+@dataclass
+class RLHFReport:
+    """Full history of an RLHF run."""
+
+    iterations: list[RLHFIterationStats] = field(default_factory=list)
+    preference_pairs: int = 0
+
+    @property
+    def initial_alignment(self) -> float:
+        return self.iterations[0].alignment if self.iterations else 0.0
+
+    @property
+    def final_alignment(self) -> float:
+        return self.iterations[-1].alignment if self.iterations else 0.0
+
+    @property
+    def improved(self) -> bool:
+        return self.final_alignment >= self.initial_alignment
+
+    def to_dict(self) -> dict:
+        return {
+            "iterations": [stats.to_dict() for stats in self.iterations],
+            "preference_pairs": self.preference_pairs,
+            "initial_alignment": self.initial_alignment,
+            "final_alignment": self.final_alignment,
+        }
+
+
+class RLHFTrainer:
+    """Orchestrates reward-model fitting and policy optimisation."""
+
+    def __init__(
+        self,
+        generator: FaultGenerator,
+        testers: list[SimulatedTester],
+        config: RLHFConfig | None = None,
+        rng: SeededRNG | None = None,
+    ) -> None:
+        if not testers:
+            raise ValueError("RLHF requires at least one tester")
+        self._generator = generator
+        self._testers = list(testers)
+        self._config = config or RLHFConfig()
+        self._rng = rng or SeededRNG(self._config.seed, namespace="rlhf")
+        self._featurizer = CandidateFeaturizer(generator.encoder)
+        self.reward_model = RewardModel(self._featurizer.dimension, self._config)
+        self.preferences = PreferenceDataset()
+        self.optimizer = PolicyOptimizer(
+            policy=generator.policy, encoder=generator.encoder, config=self._config
+        )
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, prompts: list[GenerationPrompt]) -> RLHFReport:
+        """Run the configured number of RLHF iterations over ``prompts``."""
+        report = RLHFReport()
+        for iteration in range(self._config.iterations):
+            stats = self._iteration(prompts, iteration)
+            report.iterations.append(stats)
+        report.preference_pairs = len(self.preferences)
+        return report
+
+    def alignment(self, prompts: list[GenerationPrompt]) -> float:
+        """Mean alignment of greedy generations with the testers' expectations.
+
+        Alignment is ``1 - decision_distance`` between the greedy generation and
+        each tester's hidden expectation, averaged over prompts and testers.
+        """
+        if not prompts:
+            return 0.0
+        total = 0.0
+        count = 0
+        for prompt in prompts:
+            candidate = self._generator.generate(prompt, greedy=True)
+            for tester in self._testers:
+                expected = tester.expectation(prompt.spec)
+                total += 1.0 - decision_distance(candidate.decisions, expected)
+                count += 1
+        return total / count
+
+    # -- internals ----------------------------------------------------------------
+
+    def _iteration(self, prompts: list[GenerationPrompt], iteration: int) -> RLHFIterationStats:
+        ratings: list[float] = []
+        best_ratings: list[float] = []
+        accepted = 0
+        reviewed = 0
+        samples: list[RewardedSample] = []
+
+        for prompt_index, prompt in enumerate(prompts):
+            tester = self._testers[prompt_index % len(self._testers)]
+            candidates = self._generator.candidates(
+                prompt, count=self._config.candidates_per_iteration, iteration=iteration
+            )
+            ranked = tester.rank(prompt.spec, candidates)
+            rated = [(candidate, tester.rate(prompt.spec, candidate)) for candidate in ranked]
+            ratings.extend(rating for _candidate, rating in rated)
+            best_ratings.append(rated[0][1])
+            accepted += sum(1 for _candidate, rating in rated if rating >= tester.accept_threshold)
+            reviewed += len(rated)
+
+            featurized = [
+                (candidate.fault.fault_id, self._featurizer.featurize(prompt, candidate))
+                for candidate, _rating in rated
+            ]
+            self.preferences.add_ranking(featurized, margins=[rating for _c, rating in rated])
+
+        reward_report = self.reward_model.fit(self.preferences)
+
+        for prompt_index, prompt in enumerate(prompts):
+            candidates = self._generator.candidates(
+                prompt, count=self._config.candidates_per_iteration, iteration=iteration
+            )
+            for candidate in candidates:
+                features = self._featurizer.featurize(prompt, candidate)
+                samples.append(
+                    RewardedSample(
+                        prompt=prompt,
+                        decisions=candidate.decisions,
+                        reward=self.reward_model.score(features),
+                    )
+                )
+        update_stats = self.optimizer.update(samples)
+
+        return RLHFIterationStats(
+            iteration=iteration,
+            mean_rating=sum(ratings) / len(ratings) if ratings else 0.0,
+            best_rating=sum(best_ratings) / len(best_ratings) if best_ratings else 0.0,
+            alignment=self.alignment(prompts),
+            reward_model_accuracy=reward_report.pairwise_accuracy,
+            mean_reward=update_stats.mean_reward,
+            mean_kl=update_stats.mean_kl,
+            accepted_fraction=accepted / reviewed if reviewed else 0.0,
+        )

@@ -1,0 +1,32 @@
+"""Target systems: the applications faults are injected into.
+
+Four self-contained applications with realistic injection surfaces (locks,
+retries, loops, resource handles, network- and disk-shaped calls), each paired
+with a deterministic workload and invariant checks used to detect silent data
+corruption:
+
+* :class:`EcommerceTarget` — the paper's running-example domain;
+* :class:`KVStoreTarget` — write-ahead-logged key-value store;
+* :class:`BankTarget` — money-conserving account ledger;
+* :class:`QueueTarget` — at-least-once message broker.
+"""
+
+from .bank import BankTarget
+from .base import TargetRunResult, TargetSystem
+from .ecommerce import EcommerceTarget
+from .kvstore import KVStoreTarget
+from .queueing import QueueTarget
+from .registry import TARGET_REGISTRY, all_targets, get_target, target_names
+
+__all__ = [
+    "BankTarget",
+    "EcommerceTarget",
+    "KVStoreTarget",
+    "QueueTarget",
+    "TARGET_REGISTRY",
+    "TargetRunResult",
+    "TargetSystem",
+    "all_targets",
+    "get_target",
+    "target_names",
+]

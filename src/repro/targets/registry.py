@@ -1,0 +1,37 @@
+"""Registry of the built-in target systems."""
+
+from __future__ import annotations
+
+from ..errors import TargetError
+from .bank import BankTarget
+from .base import TargetSystem
+from .ecommerce import EcommerceTarget
+from .kvstore import KVStoreTarget
+from .queueing import QueueTarget
+
+_TARGET_CLASSES: tuple[type[TargetSystem], ...] = (
+    EcommerceTarget,
+    KVStoreTarget,
+    BankTarget,
+    QueueTarget,
+)
+
+TARGET_REGISTRY: dict[str, TargetSystem] = {cls.name: cls() for cls in _TARGET_CLASSES}
+
+
+def all_targets() -> list[TargetSystem]:
+    """Every built-in target system instance."""
+    return list(TARGET_REGISTRY.values())
+
+
+def target_names() -> list[str]:
+    """Names of the built-in target systems."""
+    return list(TARGET_REGISTRY)
+
+
+def get_target(name: str) -> TargetSystem:
+    """Look up a target by name, raising :class:`TargetError` if unknown."""
+    try:
+        return TARGET_REGISTRY[name]
+    except KeyError as exc:
+        raise TargetError(f"unknown target system {name!r}; available: {target_names()}") from exc

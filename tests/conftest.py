@@ -1,0 +1,157 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (the prepared pipeline, the generated dataset) are
+session-scoped; everything else is rebuilt per test to keep tests independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DatasetConfig,
+    IntegrationConfig,
+    ModelConfig,
+    NeuralFaultInjector,
+    PipelineConfig,
+    RLHFConfig,
+    SFTConfig,
+)
+from repro.llm import FaultGenerator
+from repro.nlp import CodeAnalyzer, FaultSpecExtractor, PromptBuilder
+from repro.targets import get_target
+
+#: A module with a rich injection surface: guards, loops, locks, try/except,
+#: resource release calls, returns, network- and disk-shaped calls.
+SAMPLE_MODULE = '''
+"""Sample order-processing module used throughout the tests."""
+
+import threading
+import time
+
+_lock = threading.Lock()
+_orders = {}
+
+
+class GatewayError(Exception):
+    pass
+
+
+def validate(cart):
+    if not cart:
+        raise ValueError("cart is empty")
+    for item in cart:
+        if item["qty"] <= 0:
+            raise ValueError("bad quantity")
+
+
+def compute_total(cart, discount=0.0):
+    total = 0.0
+    for index in range(len(cart)):
+        total = total + cart[index]["price"] * cart[index]["qty"]
+    return total - total * discount
+
+
+def charge(amount, retries=3):
+    if amount <= 0:
+        raise GatewayError("invalid amount")
+    return {"charged": amount}
+
+
+def send_receipt(order_id):
+    return True
+
+
+def process_transaction(transaction_details):
+    """Process a purchase end to end."""
+    cart = transaction_details["cart"]
+    validate(cart)
+    total = compute_total(cart)
+    session = open("/dev/null", "w")
+    try:
+        charge(total)
+        with _lock:
+            order_id = len(_orders) + 1
+            _orders[order_id] = total
+        send_receipt(order_id)
+    except GatewayError as error:
+        print("charge failed:", error)
+        raise
+    finally:
+        session.close()
+    return {"order_id": order_id, "total": total}
+'''
+
+RUNNING_EXAMPLE_TEXT = (
+    "Simulate a scenario where a database transaction fails due to a timeout, "
+    "causing an unhandled exception within the process_transaction function."
+)
+
+
+@pytest.fixture(scope="session")
+def sample_module() -> str:
+    return SAMPLE_MODULE
+
+
+@pytest.fixture(scope="session")
+def running_example_text() -> str:
+    return RUNNING_EXAMPLE_TEXT
+
+
+@pytest.fixture()
+def extractor() -> FaultSpecExtractor:
+    return FaultSpecExtractor()
+
+
+@pytest.fixture()
+def analyzer() -> CodeAnalyzer:
+    return CodeAnalyzer()
+
+
+@pytest.fixture()
+def prompt_builder() -> PromptBuilder:
+    return PromptBuilder()
+
+
+@pytest.fixture()
+def fault_generator() -> FaultGenerator:
+    return FaultGenerator(ModelConfig())
+
+
+@pytest.fixture()
+def sample_prompt(extractor, analyzer, prompt_builder, sample_module, running_example_text):
+    """A fully built generation prompt for the running-example description."""
+    spec = extractor.extract_from_text(running_example_text, sample_module)
+    context = analyzer.analyze(sample_module)
+    analyzer.select_function(context, running_example_text, hint=spec.target.function)
+    return prompt_builder.build(spec, context)
+
+
+@pytest.fixture(scope="session")
+def fast_pipeline_config() -> PipelineConfig:
+    return PipelineConfig(
+        model=ModelConfig(),
+        dataset=DatasetConfig(samples_per_target=15),
+        sft=SFTConfig(epochs=3),
+        rlhf=RLHFConfig(iterations=2, candidates_per_iteration=3),
+        integration=IntegrationConfig(workload_iterations=15, test_timeout_seconds=20),
+        max_refinement_iterations=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def prepared_pipeline(fast_pipeline_config) -> NeuralFaultInjector:
+    """A pipeline with dataset generation and SFT already executed (shared)."""
+    pipeline = NeuralFaultInjector(fast_pipeline_config)
+    pipeline.prepare()
+    return pipeline
+
+
+@pytest.fixture(scope="session")
+def ecommerce_target():
+    return get_target("ecommerce")
+
+
+@pytest.fixture(scope="session")
+def kvstore_target():
+    return get_target("kvstore")

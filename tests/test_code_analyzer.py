@@ -1,0 +1,86 @@
+"""Tests for the static code analyser of the NLP engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CodeAnalysisError
+from repro.nlp import CodeAnalyzer
+
+
+class TestAnalyze:
+    def setup_method(self):
+        self.analyzer = CodeAnalyzer()
+
+    def test_functions_discovered_with_metadata(self, sample_module):
+        context = self.analyzer.analyze(sample_module)
+        names = {info.qualified_name for info in context.functions}
+        assert {"validate", "compute_total", "charge", "process_transaction"} <= names
+        process = context.function("process_transaction")
+        assert process.has_try
+        assert process.has_return
+        assert "cart" not in process.args  # args are the declared parameters
+        assert "transaction_details" in process.args
+        assert "validate" in process.calls
+
+    def test_loop_and_raise_detection(self, sample_module):
+        context = self.analyzer.analyze(sample_module)
+        compute = context.function("compute_total")
+        assert compute.has_loop
+        validate = context.function("validate")
+        assert "ValueError" in validate.raises
+
+    def test_imports_collected(self, sample_module):
+        context = self.analyzer.analyze(sample_module)
+        assert "threading" in context.imports
+        assert "time" in context.imports
+
+    def test_methods_get_class_qualified_names(self):
+        source = "class Api:\n    def handle(self, request):\n        return request\n"
+        context = self.analyzer.analyze(source)
+        assert context.functions[0].qualified_name == "Api.handle"
+
+    def test_docstring_captured(self, sample_module):
+        context = self.analyzer.analyze(sample_module)
+        assert "purchase" in (context.function("process_transaction").docstring or "")
+
+    def test_invalid_source_raises(self):
+        with pytest.raises(CodeAnalysisError):
+            self.analyzer.analyze("def broken(:\n")
+
+
+class TestSelectFunction:
+    def setup_method(self):
+        self.analyzer = CodeAnalyzer()
+
+    def test_explicit_mention_wins(self, sample_module):
+        context = self.analyzer.analyze(sample_module)
+        self.analyzer.select_function(context, "make compute_total return wrong results")
+        assert context.selected_function == "compute_total"
+
+    def test_hint_overrides_mention(self, sample_module):
+        context = self.analyzer.analyze(sample_module)
+        self.analyzer.select_function(context, "anything at all", hint="charge")
+        assert context.selected_function == "charge"
+
+    def test_lexical_overlap_used_when_no_mention(self, sample_module):
+        context = self.analyzer.analyze(sample_module)
+        self.analyzer.select_function(context, "the payment charge should be declined")
+        assert context.selected_function == "charge"
+
+    def test_falls_back_to_first_function(self):
+        source = "def only_one():\n    return 1\n"
+        context = self.analyzer.analyze(source)
+        self.analyzer.select_function(context, "something entirely unrelated")
+        assert context.selected_function == "only_one"
+
+    def test_no_functions_raises(self):
+        context = self.analyzer.analyze("x = 1\n")
+        with pytest.raises(CodeAnalysisError):
+            self.analyzer.select_function(context, "whatever")
+
+    def test_selected_property_resolves_info(self, sample_module):
+        context = self.analyzer.analyze(sample_module)
+        self.analyzer.select_function(context, "validate the cart")
+        assert context.selected is not None
+        assert context.selected.name == context.selected_function

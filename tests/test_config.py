@@ -1,0 +1,89 @@
+"""Tests for configuration validation and round-tripping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    DatasetConfig,
+    IntegrationConfig,
+    ModelConfig,
+    PipelineConfig,
+    RLHFConfig,
+    SFTConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestModelConfig:
+    def test_defaults_are_valid(self):
+        config = ModelConfig()
+        assert config.feature_dim > 0
+
+    @pytest.mark.parametrize("field,value", [
+        ("embedding_dim", 0),
+        ("hidden_dim", -1),
+        ("feature_dim", 0),
+        ("learning_rate", 0.0),
+        ("temperature", 0.0),
+        ("top_k", 0),
+        ("top_p", 1.5),
+        ("spec_constraint_threshold", 2.0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(**{field: value})
+
+    def test_to_dict_round_trip(self):
+        config = ModelConfig(hidden_dim=32, top_k=3)
+        rebuilt = ModelConfig(**config.to_dict())
+        assert rebuilt.hidden_dim == 32
+        assert rebuilt.top_k == 3
+
+
+class TestScheduleConfigs:
+    def test_sft_rejects_non_positive_epochs(self):
+        with pytest.raises(ConfigurationError):
+            SFTConfig(epochs=0)
+
+    def test_rlhf_rejects_negative_kl(self):
+        with pytest.raises(ConfigurationError):
+            RLHFConfig(kl_beta=-0.1)
+
+    def test_rlhf_rejects_bad_momentum(self):
+        with pytest.raises(ConfigurationError):
+            RLHFConfig(baseline_momentum=1.0)
+
+    def test_integration_rejects_zero_timeout(self):
+        with pytest.raises(ConfigurationError):
+            IntegrationConfig(test_timeout_seconds=0)
+
+    def test_dataset_rejects_zero_samples(self):
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(samples_per_target=0)
+
+
+class TestPipelineConfig:
+    def test_defaults_compose(self):
+        config = PipelineConfig()
+        assert config.model.feature_dim == ModelConfig().feature_dim
+        assert config.max_refinement_iterations > 0
+
+    def test_rejects_zero_refinement_iterations(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(max_refinement_iterations=0)
+
+    def test_round_trip_through_dict(self):
+        config = PipelineConfig(
+            model=ModelConfig(hidden_dim=48),
+            sft=SFTConfig(epochs=2),
+            max_refinement_iterations=7,
+        )
+        rebuilt = PipelineConfig.from_dict(config.to_dict())
+        assert rebuilt.model.hidden_dim == 48
+        assert rebuilt.sft.epochs == 2
+        assert rebuilt.max_refinement_iterations == 7
+
+    def test_from_dict_rejects_non_mapping_section(self):
+        with pytest.raises(ConfigurationError):
+            PipelineConfig.from_dict({"model": "not-a-mapping"})

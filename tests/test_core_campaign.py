@@ -1,0 +1,76 @@
+"""Tests for campaign orchestration and the neural-vs-baseline comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CampaignOrchestrator
+
+SCENARIOS = [
+    "Simulate a timeout in the transfer function causing an unhandled exception",
+    "Introduce a race condition in apply_interest under concurrent updates",
+    "Make the withdraw function silently swallow errors instead of raising them",
+    "Remove the overdraft validation check from withdraw",
+    "Silently corrupt the amount returned by the transfer function",
+]
+
+
+@pytest.fixture(scope="module")
+def orchestrator(prepared_pipeline):
+    return CampaignOrchestrator(prepared_pipeline, target="bank", mode="inprocess")
+
+
+@pytest.fixture(scope="module")
+def comparison(orchestrator):
+    return orchestrator.compare(SCENARIOS, budget=8)
+
+
+class TestNeuralCampaign:
+    def test_neural_coverage_is_full(self, comparison):
+        neural = comparison.techniques["neural"]
+        assert neural.coverage.scenario_coverage == pytest.approx(1.0)
+        assert neural.effectiveness.total == len(SCENARIOS)
+
+    def test_neural_campaign_activates_faults(self, comparison):
+        neural = comparison.techniques["neural"]
+        assert neural.effectiveness.activation_rate > 0.0
+
+
+class TestBaselineCampaigns:
+    def test_predefined_covers_fewer_scenarios_than_neural(self, comparison):
+        neural = comparison.techniques["neural"]
+        predefined = comparison.techniques["predefined-model"]
+        assert predefined.coverage.scenario_coverage < neural.coverage.scenario_coverage
+
+    def test_predefined_requires_more_effort(self, comparison):
+        neural = comparison.techniques["neural"]
+        predefined = comparison.techniques["predefined-model"]
+        assert predefined.effort_minutes > neural.effort_minutes
+
+    def test_random_expresses_no_scenarios(self, comparison):
+        random_result = comparison.techniques["random"]
+        assert random_result.coverage.scenario_coverage == 0.0
+        assert random_result.effectiveness.total > 0
+
+    def test_budget_respected(self, comparison):
+        assert comparison.techniques["predefined-model"].effectiveness.total <= 8
+        assert comparison.techniques["random"].effectiveness.total <= 8
+
+
+class TestComparisonRendering:
+    def test_summary_rows_have_all_techniques(self, comparison):
+        rows = comparison.summary_rows()
+        assert {row["technique"] for row in rows} == {"neural", "predefined-model", "random"}
+        for row in rows:
+            assert 0.0 <= row["scenario_coverage"] <= 1.0
+            assert row["effort_minutes"] >= 0.0
+
+    def test_to_dict_serialisable(self, comparison):
+        import json
+
+        json.dumps(comparison.to_dict())
+
+    def test_efficiency_comparison_favours_neural(self, orchestrator):
+        efficiency = orchestrator.efficiency_comparison(SCENARIOS)
+        assert efficiency["speedup"] > 1.0
+        assert efficiency["neural"]["minutes"] < efficiency["conventional"]["minutes"]

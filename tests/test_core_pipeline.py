@@ -1,0 +1,178 @@
+"""Tests for the end-to-end pipeline, refinement sessions, and workflow traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RefinementSession, WORKFLOW_STAGES, WorkflowTrace
+from repro.errors import FeedbackError
+from repro.rlhf import SimulatedTester, PreferenceProfile
+from repro.targets import get_target
+from repro.types import FailureMode, FaultType, HandlingStyle
+
+
+class TestPreparation:
+    def test_prepare_builds_dataset_and_trains(self, prepared_pipeline):
+        assert prepared_pipeline.dataset is not None
+        assert len(prepared_pipeline.dataset) > 0
+        assert prepared_pipeline.sft_report is not None
+        assert prepared_pipeline.sft_report.final_loss < prepared_pipeline.sft_report.initial_loss
+
+    def test_run_rlhf_records_report(self, prepared_pipeline, sample_module, running_example_text):
+        spec, context = prepared_pipeline.define_fault(running_example_text, code=sample_module)
+        prompt = prepared_pipeline.build_prompt(spec, context)
+        report = prepared_pipeline.run_rlhf([prompt])
+        assert prepared_pipeline.rlhf_report is report
+        assert len(report.iterations) == prepared_pipeline.config.rlhf.iterations
+
+
+class TestDefinitionAndGeneration:
+    def test_define_fault_extracts_spec_and_context(self, prepared_pipeline, sample_module, running_example_text):
+        spec, context = prepared_pipeline.define_fault(running_example_text, code=sample_module)
+        assert spec.fault_type is FaultType.TIMEOUT
+        assert context is not None
+        assert context.selected_function == "process_transaction"
+
+    def test_define_fault_without_code(self, prepared_pipeline):
+        spec, context = prepared_pipeline.define_fault("introduce a memory leak in the cache layer")
+        assert context is None
+        assert spec.fault_type is FaultType.MEMORY_LEAK
+
+    def test_code_context_can_be_disabled(self, fast_pipeline_config, sample_module, running_example_text):
+        import dataclasses
+
+        from repro import NeuralFaultInjector
+
+        config = dataclasses.replace(fast_pipeline_config, use_code_context=False)
+        pipeline = NeuralFaultInjector(config)
+        _spec, context = pipeline.define_fault(running_example_text, code=sample_module)
+        assert context is None
+
+    def test_inject_one_shot(self, prepared_pipeline, sample_module, running_example_text):
+        fault = prepared_pipeline.inject(running_example_text, code=sample_module)
+        assert "TimeoutError" in fault.code
+        assert fault.patch is not None
+
+    def test_refine_applies_feedback(self, prepared_pipeline, sample_module, running_example_text):
+        spec, context = prepared_pipeline.define_fault(running_example_text, code=sample_module)
+        prompt = prepared_pipeline.build_prompt(spec, context)
+        initial = prepared_pipeline.generate_fault(prompt)
+        refined_spec, refined = prepared_pipeline.refine(
+            spec, context, "introduce a retry mechanism instead of just logging the error", iteration=1
+        )
+        assert refined_spec.handling is HandlingStyle.RETRY
+        assert refined.decisions.handling == "retry"
+        assert refined.fault.iteration == 1
+        assert initial.decisions.handling != "retry"
+
+
+class TestWorkflow:
+    def test_full_workflow_trace(self, prepared_pipeline):
+        trace = prepared_pipeline.run_workflow(
+            "Simulate a timeout in process_transaction causing an unhandled exception",
+            target="ecommerce",
+            mode="inprocess",
+        )
+        assert trace.succeeded
+        assert [stage.stage for stage in trace.stages] == list(WORKFLOW_STAGES)
+        assert trace.outcome is not None
+        assert trace.outcome.failure_mode in (FailureMode.CRASH, FailureMode.ERROR_DETECTED)
+        assert trace.total_seconds > 0.0
+        assert trace.to_dict()["succeeded"] is True
+
+    def test_workflow_without_target_stops_after_refinement(self, prepared_pipeline, sample_module):
+        trace = prepared_pipeline.run_workflow(
+            "Introduce a race condition in process_transaction", code=sample_module
+        )
+        assert trace.outcome is None
+        assert "integration" not in [stage.stage for stage in trace.stages]
+        assert trace.fault is not None
+
+    def test_workflow_with_simulated_tester_feedback(self, prepared_pipeline):
+        tester = SimulatedTester(profile=PreferenceProfile(name="retry", preferred_handling=HandlingStyle.RETRY))
+        trace = prepared_pipeline.run_workflow(
+            "Simulate a timeout in process_transaction causing an unhandled exception",
+            target="ecommerce",
+            feedback=tester,
+            mode="inprocess",
+        )
+        assert trace.feedback_rounds >= 1
+        assert trace.fault.actions["handling"] == "retry"
+
+    def test_workflow_with_callable_feedback(self, prepared_pipeline):
+        calls = []
+
+        def feedback(spec, candidate):
+            if not calls:
+                calls.append(1)
+                return "make the fault intermittent so it only happens sometimes"
+            return None
+
+        trace = prepared_pipeline.run_workflow(
+            "Simulate a timeout in process_transaction",
+            target="ecommerce",
+            feedback=feedback,
+            mode="inprocess",
+        )
+        assert trace.feedback_rounds == 1
+        assert trace.fault.actions["trigger"] == "probabilistic"
+
+    def test_workflow_nlp_failure_is_recorded(self, prepared_pipeline):
+        trace = prepared_pipeline.run_workflow("   ", target="ecommerce", mode="inprocess")
+        assert not trace.succeeded
+        assert trace.stages[-1].stage == "nlp_processing"
+        assert not trace.stages[-1].succeeded
+
+
+class TestWorkflowTraceRecord:
+    def test_stage_accumulation(self):
+        trace = WorkflowTrace(description="x")
+        trace.add_stage("nlp_processing", 0.5, {"entities": 3})
+        trace.add_stage("code_generation", 0.25)
+        assert trace.total_seconds == pytest.approx(0.75)
+        assert trace.stage_seconds()["nlp_processing"] == pytest.approx(0.5)
+        assert not trace.succeeded  # no fault attached
+
+    def test_completed_stages_skip_failures(self):
+        trace = WorkflowTrace(description="x")
+        trace.add_stage("nlp_processing", 0.1, succeeded=False)
+        assert trace.completed_stages == []
+
+
+class TestRefinementSession:
+    def test_running_example_two_iterations(self, prepared_pipeline, ecommerce_target, running_example_text):
+        session = RefinementSession(
+            prepared_pipeline, running_example_text, code=ecommerce_target.build_source()
+        )
+        first = session.propose()
+        assert first.decisions.template == "timeout"
+        assert first.decisions.handling == "unhandled"
+        second = session.give_feedback("introduce a retry mechanism instead of just logging the error")
+        assert second.decisions.handling == "retry"
+        assert "retry" in second.fault.code.lower()
+        assert session.iterations == 2
+        history = session.history()
+        assert history[0]["critique"] is not None
+        assert not session.accepted
+
+    def test_propose_is_idempotent(self, prepared_pipeline, sample_module, running_example_text):
+        session = RefinementSession(prepared_pipeline, running_example_text, code=sample_module)
+        assert session.propose() is session.propose()
+
+    def test_feedback_before_propose_raises(self, prepared_pipeline, sample_module, running_example_text):
+        session = RefinementSession(prepared_pipeline, running_example_text, code=sample_module)
+        with pytest.raises(FeedbackError):
+            session.give_feedback("anything")
+
+    def test_accept_marks_session_accepted(self, prepared_pipeline, sample_module, running_example_text):
+        session = RefinementSession(prepared_pipeline, running_example_text, code=sample_module)
+        candidate = session.propose()
+        assert session.accept() is candidate
+        assert session.accepted
+
+    def test_auto_refine_with_retry_tester_converges(self, prepared_pipeline, sample_module, running_example_text):
+        tester = SimulatedTester(profile=PreferenceProfile(name="retry", preferred_handling=HandlingStyle.RETRY))
+        session = RefinementSession(prepared_pipeline, running_example_text, code=sample_module)
+        final = session.auto_refine(tester, max_iterations=4)
+        assert final.decisions.handling == "retry"
+        assert session.accepted

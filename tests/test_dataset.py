@@ -1,0 +1,183 @@
+"""Tests for dataset records, description synthesis, generation, splits, and I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DatasetConfig
+from repro.dataset import (
+    DatasetGenerator,
+    DescriptionSynthesizer,
+    FaultDataset,
+    FaultRecord,
+    load_jsonl,
+    save_jsonl,
+    split_dataset,
+)
+from repro.errors import DatasetError
+from repro.injection import FaultLoad, ProgrammableInjector
+from repro.llm import DECISION_SLOTS, DecisionVector
+from repro.targets import get_target
+from repro.types import FaultType
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    generator = DatasetGenerator(DatasetConfig(samples_per_target=12, max_faults_per_function=2))
+    return generator, generator.generate()
+
+
+class TestRecordsAndDataset:
+    def make_record(self, index=0, fault_type=FaultType.TIMEOUT, target="ecommerce"):
+        return FaultRecord(
+            record_id=f"r-{index}",
+            target=target,
+            function="process_transaction",
+            description="a timeout occurs",
+            original_code="def f():\n    pass\n",
+            faulty_code="def f():\n    raise TimeoutError()\n",
+            fault_type=fault_type,
+            operator="raise_timeout",
+            decisions={"template": "timeout", "trigger": "always", "handling": "unhandled",
+                       "placement": "wrap_body", "severity": "medium"},
+        )
+
+    def test_record_round_trip(self):
+        record = self.make_record()
+        assert FaultRecord.from_dict(record.to_dict()) == record
+
+    def test_dataset_counts_and_filter(self):
+        dataset = FaultDataset()
+        dataset.add(self.make_record(0, FaultType.TIMEOUT, "ecommerce"))
+        dataset.add(self.make_record(1, FaultType.RACE_CONDITION, "bank"))
+        dataset.add(self.make_record(2, FaultType.TIMEOUT, "bank"))
+        assert dataset.fault_type_counts()["timeout"] == 2
+        assert dataset.targets() == ["ecommerce", "bank"]
+        filtered = dataset.filter(fault_type=FaultType.TIMEOUT, target="bank")
+        assert len(filtered) == 1
+        summary = dataset.summary()
+        assert summary["records"] == 3
+
+
+class TestDescriptionSynthesizer:
+    def applied_fault(self):
+        target = get_target("ecommerce")
+        injector = ProgrammableInjector()
+        return injector.inject(target.build_source(), FaultLoad().add("raise_timeout", "process_transaction"))[0]
+
+    def test_description_mentions_function(self):
+        applied = self.applied_fault()
+        description = DescriptionSynthesizer().describe(applied, variant=0)
+        assert "process_transaction" in description
+
+    def test_variants_differ(self):
+        applied = self.applied_fault()
+        variants = DescriptionSynthesizer().variants(applied)
+        assert len(set(variants)) >= 2
+
+    def test_explicit_variant_is_deterministic(self):
+        applied = self.applied_fault()
+        synthesizer = DescriptionSynthesizer()
+        assert synthesizer.describe(applied, variant=1) == synthesizer.describe(applied, variant=1)
+
+    def test_tool_description_passthrough(self):
+        applied = self.applied_fault()
+        assert DescriptionSynthesizer().tool_description(applied) == applied.description
+
+
+class TestDatasetGenerator:
+    def test_respects_per_target_budget(self, small_dataset):
+        generator, dataset = small_dataset
+        per_target = {target: 0 for target in dataset.targets()}
+        for record in dataset:
+            per_target[record.target] += 1
+        assert all(count <= 12 for count in per_target.values())
+        assert generator.stats.applied == len(dataset)
+
+    def test_covers_many_fault_types(self, small_dataset):
+        _generator, dataset = small_dataset
+        assert len(dataset.fault_type_counts()) >= 8
+
+    def test_respects_max_faults_per_function(self, small_dataset):
+        _generator, dataset = small_dataset
+        per_function: dict[tuple[str, str], int] = {}
+        for record in dataset:
+            key = (record.target, record.function)
+            per_function[key] = per_function.get(key, 0) + 1
+        assert max(per_function.values()) <= 2
+
+    def test_records_have_valid_decisions_and_code(self, small_dataset):
+        import ast
+
+        _generator, dataset = small_dataset
+        for record in dataset:
+            DecisionVector.from_dict(record.decisions)
+            ast.parse(record.faulty_code)
+            assert record.faulty_code != record.original_code
+            assert record.decisions["template"] == record.fault_type.value
+            assert record.description
+
+    def test_sft_examples_match_records(self, small_dataset):
+        generator, dataset = small_dataset
+        subset = FaultDataset(records=dataset.records[:10])
+        examples = generator.to_sft_examples(subset)
+        assert len(examples) == 10
+        for example, record in zip(examples, subset):
+            assert example.target.to_dict() == record.decisions
+            assert example.prompt.spec.description
+
+    def test_generation_is_deterministic_for_a_seed(self):
+        config = DatasetConfig(samples_per_target=6, seed=99)
+        first = DatasetGenerator(config).generate([get_target("bank")])
+        second = DatasetGenerator(config).generate([get_target("bank")])
+        assert [r.operator for r in first] == [r.operator for r in second]
+        assert [r.description for r in first] == [r.description for r in second]
+
+    def test_empty_target_list_rejected(self):
+        with pytest.raises(DatasetError):
+            DatasetGenerator().generate([])
+
+
+class TestSplitsAndIO:
+    def test_split_fractions(self, small_dataset):
+        _generator, dataset = small_dataset
+        splits = split_dataset(dataset, train_fraction=0.6, validation_fraction=0.2)
+        sizes = splits.sizes()
+        assert sizes["train"] + sizes["validation"] + sizes["test"] == len(dataset)
+        assert sizes["train"] > sizes["test"]
+
+    def test_split_is_deterministic(self, small_dataset):
+        _generator, dataset = small_dataset
+        first = split_dataset(dataset, seed=5)
+        second = split_dataset(dataset, seed=5)
+        assert [r.record_id for r in first.train] == [r.record_id for r in second.train]
+
+    def test_split_partitions_do_not_overlap(self, small_dataset):
+        _generator, dataset = small_dataset
+        splits = split_dataset(dataset)
+        train_ids = {record.record_id for record in splits.train}
+        test_ids = {record.record_id for record in splits.test}
+        assert not train_ids & test_ids
+
+    @pytest.mark.parametrize("train,validation", [(0.0, 0.1), (0.9, 0.2), (1.0, 0.0)])
+    def test_invalid_fractions_rejected(self, small_dataset, train, validation):
+        _generator, dataset = small_dataset
+        with pytest.raises(DatasetError):
+            split_dataset(dataset, train_fraction=train, validation_fraction=validation)
+
+    def test_jsonl_round_trip(self, tmp_path, small_dataset):
+        _generator, dataset = small_dataset
+        path = save_jsonl(dataset, tmp_path / "data" / "faults.jsonl")
+        restored = load_jsonl(path)
+        assert len(restored) == len(dataset)
+        assert restored.records[0].to_dict() == dataset.records[0].to_dict()
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_jsonl(tmp_path / "missing.jsonl")
+
+    def test_load_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not valid json}\n")
+        with pytest.raises(DatasetError):
+            load_jsonl(path)

@@ -1,0 +1,84 @@
+"""Tests for named-entity recognition and relation extraction."""
+
+from __future__ import annotations
+
+from repro.nlp import EntityRecognizer, RelationExtractor, entities_by_label, relations_of
+from repro.types import EntityLabel
+
+
+class TestEntityRecognizer:
+    def setup_method(self):
+        self.recognizer = EntityRecognizer()
+
+    def labels_for(self, text, known=None):
+        grouped = entities_by_label(self.recognizer.recognize(text, known_functions=known or []))
+        return {label: [entity.text for entity in entities] for label, entities in grouped.items()}
+
+    def test_fault_keywords_multiword(self):
+        labels = self.labels_for("introduce a race condition between processes")
+        assert "race condition" in labels[EntityLabel.FAULT_KEYWORD]
+
+    def test_components_recognised(self):
+        labels = self.labels_for("the database service becomes unreachable")
+        assert "database" in labels[EntityLabel.COMPONENT]
+
+    def test_function_identifiers(self):
+        labels = self.labels_for("a fault within the process_transaction function")
+        assert "process_transaction" in labels[EntityLabel.FUNCTION]
+
+    def test_known_function_names_matched_without_underscores(self):
+        labels = self.labels_for("make checkout fail", known=["checkout", "refund_order"])
+        assert "checkout" in labels[EntityLabel.FUNCTION]
+
+    def test_exception_names(self):
+        labels = self.labels_for("it should raise a ConnectionError instead")
+        assert "ConnectionError" in labels[EntityLabel.EXCEPTION_NAME]
+
+    def test_condition_clause(self):
+        labels = self.labels_for("fail when the cart is empty, otherwise succeed")
+        assert any("when the cart is empty" in text for text in labels[EntityLabel.CONDITION])
+
+    def test_quantities_with_units(self):
+        labels = self.labels_for("add a delay of 200 milliseconds to the call")
+        assert any("200" in text for text in labels[EntityLabel.QUANTITY])
+
+    def test_actions(self):
+        labels = self.labels_for("inject a timeout into the gateway")
+        assert "inject" in [text.lower() for text in labels[EntityLabel.ACTION]]
+
+    def test_entity_offsets_are_correct(self):
+        text = "introduce a memory leak in the cache"
+        for entity in self.recognizer.recognize(text):
+            assert text[entity.start : entity.end] == entity.text
+
+    def test_duplicate_containment_removed(self):
+        entities = self.recognizer.recognize("an unhandled exception occurs")
+        keyword_texts = [e.text for e in entities if e.label is EntityLabel.FAULT_KEYWORD]
+        assert keyword_texts.count("unhandled exception") == 1
+
+
+class TestRelationExtractor:
+    def setup_method(self):
+        self.extractor = RelationExtractor()
+
+    def test_action_object_relation(self):
+        relations = self.extractor.extract("introduce a race condition in the scheduler")
+        objects = [r.dependent for r in relations_of(relations, "object")]
+        assert any("race condition" in dependent for dependent in objects)
+
+    def test_location_relation_points_at_function(self):
+        relations = self.extractor.extract("a timeout occurs within the process_transaction function")
+        locations = [r.dependent for r in relations_of(relations, "location")]
+        assert any("process_transaction" in location for location in locations)
+
+    def test_subject_failure_relation(self):
+        relations = self.extractor.extract("the database transaction fails under load")
+        failing = [r.head for r in relations_of(relations, "fails")]
+        assert any("transaction" in head for head in failing)
+
+    def test_no_relations_in_contentless_text(self):
+        assert self.extractor.extract("the and of") == []
+
+    def test_relation_to_tuple(self):
+        relations = self.extractor.extract("introduce a timeout in checkout")
+        assert all(len(relation.to_tuple()) == 3 for relation in relations)

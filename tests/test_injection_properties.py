@@ -1,0 +1,137 @@
+"""Property-based tests for the injection substrate.
+
+Invariants checked with hypothesis:
+
+* every operator, applied at any point it reports, yields syntactically valid
+  Python that differs from the original;
+* patches always revert cleanly (the original text is retained verbatim);
+* the fault-load DSL round-trips through JSON for arbitrary entries.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import given, settings, strategies as st
+
+from repro.injection import FaultLoad, all_operators, get_operator, operator_names
+from repro.rng import SeededRNG
+
+#: A family of small but structurally varied modules for property tests.
+_MODULE_TEMPLATES = [
+    """
+def alpha(items, threshold):
+    total = 0
+    for index in range(len(items)):
+        if items[index] > threshold:
+            total = total + items[index]
+    return total
+""",
+    """
+import threading
+
+_lock = threading.Lock()
+
+def beta(store, key, value, attempts=3):
+    if key is None:
+        raise ValueError("missing key")
+    with _lock:
+        store[key] = value
+    return store[key]
+""",
+    """
+def gamma(connection, payload):
+    try:
+        connection.send(payload)
+    except ConnectionError as error:
+        print("send failed", error)
+        raise
+    finally:
+        connection.close()
+    return True
+""",
+    """
+def delta(n):
+    result = 1
+    while n > 1:
+        result = result * n
+        n = n - 1
+    return result
+""",
+    """
+def epsilon(records):
+    cleaned = []
+    for record in records:
+        if record.get("valid"):
+            cleaned.append(record["value"] * 2)
+    write_output(cleaned)
+    return cleaned
+
+def write_output(data):
+    return len(data)
+""",
+]
+
+
+@st.composite
+def operator_and_module(draw):
+    module = draw(st.sampled_from(_MODULE_TEMPLATES))
+    operator = draw(st.sampled_from(operator_names()))
+    return operator, module
+
+
+class TestOperatorInvariants:
+    @given(operator_and_module(), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=120, deadline=None)
+    def test_applied_mutants_are_valid_and_different(self, pair, point_choice):
+        operator_name, module = pair
+        operator = get_operator(operator_name)
+        points = operator.find_points(module)
+        if not points:
+            return  # operator simply does not apply to this module
+        point = points[point_choice % len(points)]
+        applied = operator.apply(module, point, rng=SeededRNG(3))
+        ast.parse(applied.patch.mutated)
+        assert applied.patch.mutated != module
+        assert applied.patch.original == module
+        assert applied.description
+
+    @given(operator_and_module())
+    @settings(max_examples=60, deadline=None)
+    def test_find_points_is_idempotent(self, pair):
+        operator_name, module = pair
+        operator = get_operator(operator_name)
+        first = operator.find_points(module)
+        second = operator.find_points(module)
+        assert [p.to_dict() for p in first] == [p.to_dict() for p in second]
+
+    @given(st.sampled_from(_MODULE_TEMPLATES))
+    @settings(max_examples=20, deadline=None)
+    def test_scanning_never_mutates_the_source(self, module):
+        before = module
+        for operator in all_operators():
+            operator.find_points(module)
+        assert module == before
+
+
+class TestFaultLoadProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(operator_names()),
+                st.sampled_from(["*", "alpha", "beta*", "process_*"]),
+                st.integers(min_value=1, max_value=5),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_faultload_json_round_trip(self, entries):
+        load = FaultLoad(name="prop")
+        for operator, pattern, max_points in entries:
+            load.add(operator, pattern, max_points=max_points)
+        restored = FaultLoad.from_json(load.to_json())
+        assert len(restored) == len(load)
+        assert [e.operator for e in restored] == [e.operator for e in load]
+        assert [e.max_points for e in restored] == [e.max_points for e in load]

@@ -1,0 +1,133 @@
+"""Property-based tests across the NLP engine, grammar, and evaluation metrics."""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import decision_accuracy, edit_similarity, token_bleu, token_jaccard
+from repro.llm import CodeGrammar, DECISION_SLOTS, DecisionVector, reference_decisions
+from repro.nlp import FaultSpecExtractor, PromptBuilder, Tokenizer
+from repro.rlhf import FeedbackParser
+from repro.types import FaultType, HandlingStyle, TriggerKind
+
+_extractor = FaultSpecExtractor()
+_grammar = CodeGrammar()
+_prompts = PromptBuilder()
+_tokenizer = Tokenizer()
+_parser = FeedbackParser()
+
+_FAULT_PHRASES = [
+    "a timeout", "a race condition", "a memory leak", "an unhandled exception",
+    "a silent data corruption", "an off-by-one error", "a resource leak",
+    "a network outage", "a disk failure", "an infinite loop", "a swallowed exception",
+]
+_VERBS = ["Simulate", "Introduce", "Inject", "Create"]
+_LOCATIONS = ["process_transaction", "the checkout function", "the payment service", "update_inventory"]
+_SUFFIXES = [
+    "", " when the cart is empty", " 30% of the time", " every 3rd call",
+    " with a retry mechanism", " and the error is only logged",
+]
+
+
+@st.composite
+def fault_description(draw):
+    verb = draw(st.sampled_from(_VERBS))
+    phrase = draw(st.sampled_from(_FAULT_PHRASES))
+    location = draw(st.sampled_from(_LOCATIONS))
+    suffix = draw(st.sampled_from(_SUFFIXES))
+    return f"{verb} {phrase} in {location}{suffix}."
+
+
+@st.composite
+def decision_vector(draw):
+    return DecisionVector.from_dict(
+        {slot: draw(st.sampled_from(values)) for slot, values in DECISION_SLOTS.items()}
+    )
+
+
+class TestSpecExtractionProperties:
+    @given(fault_description())
+    @settings(max_examples=80, deadline=None)
+    def test_extraction_always_produces_a_valid_spec(self, text):
+        spec = _extractor.extract_from_text(text)
+        assert isinstance(spec.fault_type, FaultType)
+        assert isinstance(spec.handling, HandlingStyle)
+        assert isinstance(spec.trigger.kind, TriggerKind)
+        assert 0.0 <= spec.confidence <= 1.0
+        # Round trip through the dictionary form is loss-free.
+        from repro.types import FaultSpec
+
+        assert FaultSpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+
+    @given(fault_description())
+    @settings(max_examples=40, deadline=None)
+    def test_extraction_is_deterministic(self, text):
+        assert _extractor.extract_from_text(text).to_dict() == _extractor.extract_from_text(text).to_dict()
+
+    @given(fault_description())
+    @settings(max_examples=40, deadline=None)
+    def test_reference_decisions_are_always_valid(self, text):
+        spec = _extractor.extract_from_text(text)
+        reference_decisions(spec).validate()
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_tokenizer_offsets_always_match(self, text):
+        for token in _tokenizer.tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    @given(st.text(max_size=120))
+    @settings(max_examples=60, deadline=None)
+    def test_feedback_parser_never_crashes(self, critique):
+        directives = _parser.directives_from_text(critique)
+        assert isinstance(directives, dict)
+
+
+class TestGrammarProperties:
+    @given(fault_description(), decision_vector())
+    @settings(max_examples=60, deadline=None)
+    def test_rendered_code_is_always_valid_python(self, text, decisions):
+        spec = _extractor.extract_from_text(text)
+        prompt = _prompts.build(spec, None)
+        rendered = _grammar.render(prompt, decisions)
+        ast.parse(rendered.function_source)
+        assert rendered.notes
+
+
+class TestMetricProperties:
+    code_snippets = st.sampled_from(
+        [
+            "def f(x):\n    return x + 1\n",
+            "def g(y):\n    return y * 2\n",
+            "class A:\n    pass\n",
+            "for i in range(10):\n    print(i)\n",
+            "try:\n    work()\nexcept ValueError:\n    pass\n",
+        ]
+    )
+
+    @given(code_snippets, code_snippets)
+    @settings(max_examples=40, deadline=None)
+    def test_similarity_metrics_bounded_and_symmetric_identity(self, left, right):
+        for metric in (edit_similarity, token_jaccard):
+            value = metric(left, right)
+            assert 0.0 <= value <= 1.0
+            assert metric(left, left) == 1.0
+        assert 0.0 <= token_bleu(left, right) <= 1.0
+
+    @given(decision_vector(), decision_vector())
+    @settings(max_examples=60, deadline=None)
+    def test_decision_accuracy_bounds(self, left, right):
+        accuracy = decision_accuracy(left.to_dict(), right.to_dict())
+        assert 0.0 <= accuracy <= 1.0
+        assert decision_accuracy(left.to_dict(), left.to_dict()) == 1.0
+
+    @given(decision_vector(), decision_vector())
+    @settings(max_examples=60, deadline=None)
+    def test_decision_distance_is_a_semimetric(self, left, right):
+        from repro.llm import decision_distance
+
+        assert decision_distance(left, left) == 0.0
+        assert decision_distance(left, right) == decision_distance(right, left)
+        assert 0.0 <= decision_distance(left, right) <= 1.0

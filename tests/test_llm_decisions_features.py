@@ -1,0 +1,127 @@
+"""Tests for the decision schema and the feature encoder."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.errors import ConfigurationError, GenerationError
+from repro.llm import DECISION_SLOTS, DecisionVector, FeatureEncoder, decision_distance, reference_decisions, slot_sizes
+from repro.nlp import PromptBuilder
+from repro.types import FaultType, HandlingStyle, PlacementStyle, TriggerKind
+
+
+class TestDecisionSchema:
+    def test_every_concrete_fault_type_has_a_template(self):
+        assert set(DECISION_SLOTS["template"]) == {ft.value for ft in FaultType.concrete()}
+
+    def test_slot_sizes_match_schema(self):
+        sizes = slot_sizes()
+        for slot, values in DECISION_SLOTS.items():
+            assert sizes[slot] == len(values)
+
+    def test_round_trip_through_indices(self):
+        vector = DecisionVector(
+            template="timeout", trigger="always", handling="retry", placement="wrap_body", severity="high"
+        )
+        assert DecisionVector.from_indices(vector.to_indices()) == vector
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(GenerationError):
+            DecisionVector.from_dict(
+                {"template": "bogus", "trigger": "always", "handling": "retry",
+                 "placement": "wrap_body", "severity": "low"}
+            )
+
+    def test_typed_accessors(self):
+        vector = DecisionVector(
+            template="race_condition", trigger="probabilistic", handling="fallback",
+            placement="inside_loop", severity="low",
+        )
+        assert vector.fault_type is FaultType.RACE_CONDITION
+        assert vector.trigger_kind is TriggerKind.PROBABILISTIC
+        assert vector.handling_style is HandlingStyle.FALLBACK
+        assert vector.placement_style is PlacementStyle.INSIDE_LOOP
+        assert vector.severity_factor == 0.5
+
+
+class TestReferenceDecisions:
+    def test_running_example(self, sample_prompt):
+        reference = reference_decisions(sample_prompt.spec)
+        assert reference.template == "timeout"
+        assert reference.handling == "unhandled"
+        assert reference.trigger == "always"
+
+    def test_retry_directive_overrides_handling(self, sample_prompt):
+        spec = dataclasses.replace(sample_prompt.spec, directives={"wants_retry": True})
+        assert reference_decisions(spec).handling == "retry"
+
+    def test_unknown_fault_type_defaults_to_exception(self, extractor):
+        spec = extractor.extract_from_text("something vague happens here")
+        assert reference_decisions(spec).template == "exception"
+
+    def test_placement_follows_fault_type(self, extractor):
+        leak = extractor.extract_from_text("introduce a memory leak in the worker loop")
+        assert reference_decisions(leak).placement == "body_start"
+        wrong_return = extractor.extract_from_text("the function returns the wrong total")
+        assert reference_decisions(wrong_return).placement == "before_return"
+
+    def test_severity_from_delay_seconds(self, extractor):
+        slow = extractor.extract_from_text("add a delay of 5 seconds to the endpoint")
+        assert reference_decisions(slow).severity == "high"
+        quick = extractor.extract_from_text("add a delay of 10 milliseconds to the endpoint")
+        assert reference_decisions(quick).severity == "low"
+
+
+class TestDecisionDistance:
+    def test_zero_for_identical(self, sample_prompt):
+        reference = reference_decisions(sample_prompt.spec)
+        assert decision_distance(reference, reference) == 0.0
+
+    def test_template_mismatch_weighs_most(self, sample_prompt):
+        reference = reference_decisions(sample_prompt.spec)
+        wrong_template = DecisionVector.from_dict({**reference.to_dict(), "template": "memory_leak"})
+        wrong_severity = DecisionVector.from_dict({**reference.to_dict(), "severity": "high"})
+        assert decision_distance(reference, wrong_template) > decision_distance(reference, wrong_severity)
+
+    def test_distance_bounded_by_one(self, sample_prompt):
+        reference = reference_decisions(sample_prompt.spec)
+        other = DecisionVector(
+            template="disk_failure", trigger="on_nth_call", handling="fallback",
+            placement="before_return", severity="high",
+        )
+        assert 0.0 < decision_distance(reference, other) <= 1.0
+
+
+class TestFeatureEncoder:
+    def test_dimension_matches_config(self, sample_prompt):
+        config = ModelConfig(feature_dim=96)
+        encoder = FeatureEncoder(config)
+        assert encoder.encode(sample_prompt).shape == (96,)
+
+    def test_too_small_feature_dim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FeatureEncoder(ModelConfig(feature_dim=40))
+
+    def test_encoding_is_deterministic(self, sample_prompt):
+        encoder = FeatureEncoder()
+        assert np.allclose(encoder.encode(sample_prompt), encoder.encode(sample_prompt))
+
+    def test_different_descriptions_encode_differently(self, extractor, prompt_builder):
+        encoder = FeatureEncoder()
+        first = prompt_builder.build(extractor.extract_from_text("introduce a memory leak in the cache"))
+        second = prompt_builder.build(extractor.extract_from_text("a race condition between two writers"))
+        assert not np.allclose(encoder.encode(first), encoder.encode(second))
+
+    def test_feedback_directives_change_encoding(self, sample_prompt, prompt_builder):
+        encoder = FeatureEncoder()
+        refined = prompt_builder.refine(sample_prompt, {"wants_retry": True})
+        assert not np.allclose(encoder.encode(sample_prompt), encoder.encode(refined))
+
+    def test_hashed_text_features_are_normalised(self, sample_prompt):
+        encoder = FeatureEncoder()
+        vector = encoder.encode(sample_prompt)
+        assert float(np.max(np.abs(vector))) <= 1.0 + 1e-9

@@ -1,0 +1,164 @@
+"""Tests for the policy network and decoding strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.errors import ModelError
+from repro.llm import DECISION_SLOTS, Decoder, DecisionVector, FeatureEncoder, PolicyNetwork, reference_decisions
+from repro.rng import SeededRNG
+
+
+@pytest.fixture()
+def encoded_prompt(sample_prompt):
+    return FeatureEncoder().encode(sample_prompt)
+
+
+@pytest.fixture()
+def policy():
+    return PolicyNetwork(ModelConfig())
+
+
+class TestPolicyNetwork:
+    def test_forward_produces_normalised_distributions(self, policy, encoded_prompt):
+        result = policy.forward(encoded_prompt)
+        for slot, values in DECISION_SLOTS.items():
+            probs = result.probabilities[slot]
+            assert probs.shape == (len(values),)
+            assert np.all(probs >= 0)
+            assert np.isclose(probs.sum(), 1.0)
+
+    def test_wrong_feature_shape_rejected(self, policy):
+        with pytest.raises(ModelError):
+            policy.forward(np.zeros(3))
+
+    def test_log_probability_matches_forward(self, policy, encoded_prompt, sample_prompt):
+        decisions = reference_decisions(sample_prompt.spec)
+        forward = policy.forward(encoded_prompt)
+        assert policy.log_probability(encoded_prompt, decisions) == pytest.approx(
+            forward.log_probability(decisions)
+        )
+
+    def test_supervised_updates_increase_target_likelihood(self, policy, encoded_prompt, sample_prompt):
+        target = reference_decisions(sample_prompt.spec)
+        before = policy.log_probability(encoded_prompt, target)
+        for _ in range(20):
+            forward = policy.forward(encoded_prompt)
+            policy.apply_gradients(policy.backward(forward, target), learning_rate=0.2)
+        after = policy.log_probability(encoded_prompt, target)
+        assert after > before
+
+    def test_policy_gradient_scale_sign_controls_direction(self, policy, encoded_prompt, sample_prompt):
+        target = reference_decisions(sample_prompt.spec)
+        before = policy.log_probability(encoded_prompt, target)
+        # Negative scale == negative advantage: the decisions should become LESS likely.
+        for _ in range(10):
+            forward = policy.forward(encoded_prompt)
+            policy.apply_gradients(policy.backward(forward, target, scale=-1.0), learning_rate=0.2)
+        after = policy.log_probability(encoded_prompt, target)
+        assert after < before
+
+    def test_clone_is_independent(self, policy, encoded_prompt, sample_prompt):
+        clone = policy.clone()
+        target = reference_decisions(sample_prompt.spec)
+        for _ in range(10):
+            forward = policy.forward(encoded_prompt)
+            policy.apply_gradients(policy.backward(forward, target))
+        assert clone.log_probability(encoded_prompt, target) != pytest.approx(
+            policy.log_probability(encoded_prompt, target)
+        )
+
+    def test_state_round_trip(self, policy, encoded_prompt, sample_prompt):
+        target = reference_decisions(sample_prompt.spec)
+        other = PolicyNetwork(ModelConfig())
+        other.load_state(policy.state_dict())
+        assert other.log_probability(encoded_prompt, target) == pytest.approx(
+            policy.log_probability(encoded_prompt, target)
+        )
+
+    def test_load_state_dimension_mismatch(self, policy):
+        other = PolicyNetwork(ModelConfig(hidden_dim=16))
+        with pytest.raises(ModelError):
+            policy.load_state(other.state_dict())
+
+    def test_kl_divergence_zero_against_itself(self, policy, encoded_prompt):
+        assert policy.kl_divergence(encoded_prompt, policy) == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_divergence_positive_after_training(self, policy, encoded_prompt, sample_prompt):
+        reference = policy.clone()
+        target = reference_decisions(sample_prompt.spec)
+        for _ in range(15):
+            forward = policy.forward(encoded_prompt)
+            policy.apply_gradients(policy.backward(forward, target), learning_rate=0.3)
+        assert policy.kl_divergence(encoded_prompt, reference) > 0.0
+
+    def test_version_increments_on_update(self, policy, encoded_prompt, sample_prompt):
+        target = reference_decisions(sample_prompt.spec)
+        version = policy.version
+        policy.apply_gradients(policy.backward(policy.forward(encoded_prompt), target))
+        assert policy.version == version + 1
+
+
+class TestDecoder:
+    def make_distributions(self, policy, encoded_prompt):
+        return policy.distributions(encoded_prompt)
+
+    def test_greedy_picks_argmax(self, policy, encoded_prompt):
+        distributions = self.make_distributions(policy, encoded_prompt)
+        result = Decoder().greedy(distributions)
+        for slot, values in DECISION_SLOTS.items():
+            expected = values[int(np.argmax(distributions[slot]))]
+            assert result.decisions.to_dict()[slot] == expected
+
+    def test_greedy_is_deterministic(self, policy, encoded_prompt):
+        distributions = self.make_distributions(policy, encoded_prompt)
+        assert Decoder().greedy(distributions).decisions == Decoder().greedy(distributions).decisions
+
+    def test_sampling_respects_one_hot_distributions(self, policy, encoded_prompt):
+        distributions = {
+            slot: np.eye(len(values))[0] for slot, values in DECISION_SLOTS.items()
+        }
+        result = Decoder(rng=SeededRNG(5)).sample(distributions)
+        for slot, values in DECISION_SLOTS.items():
+            assert result.decisions.to_dict()[slot] == values[0]
+
+    def test_top_k_one_equals_greedy(self, policy, encoded_prompt):
+        distributions = self.make_distributions(policy, encoded_prompt)
+        sampled = Decoder(rng=SeededRNG(7)).sample(distributions, top_k=1)
+        assert sampled.decisions == Decoder().greedy(distributions).decisions
+
+    def test_top_p_truncation_excludes_tail(self, policy, encoded_prompt):
+        decoder = Decoder(rng=SeededRNG(11))
+        distributions = {slot: probs for slot, probs in self.make_distributions(policy, encoded_prompt).items()}
+        for _ in range(20):
+            result = decoder.sample(distributions, top_p=0.5)
+            for slot, probs in distributions.items():
+                chosen = result.decisions.to_dict()[slot]
+                chosen_probability = probs[DECISION_SLOTS[slot].index(chosen)]
+                assert chosen_probability >= np.min(probs)
+
+    def test_logprob_uses_untruncated_distribution(self, policy, encoded_prompt):
+        distributions = self.make_distributions(policy, encoded_prompt)
+        result = Decoder(rng=SeededRNG(13)).sample(distributions, top_k=1)
+        manual = sum(
+            float(np.log(distributions[slot][DECISION_SLOTS[slot].index(value)] + 1e-12))
+            for slot, value in result.decisions.to_dict().items()
+        )
+        assert result.logprob == pytest.approx(manual)
+
+    def test_diverse_candidates_unique_and_counted(self, policy, encoded_prompt):
+        distributions = self.make_distributions(policy, encoded_prompt)
+        candidates = Decoder(rng=SeededRNG(17)).diverse_candidates(distributions, count=4)
+        assert len(candidates) == 4
+        assert candidates[0].strategy == "greedy"
+        keys = {tuple(sorted(c.decisions.to_dict().items())) for c in candidates[:3]}
+        assert len(keys) >= 2
+
+    def test_invalid_temperature_rejected(self, policy, encoded_prompt):
+        from repro.errors import GenerationError
+
+        distributions = self.make_distributions(policy, encoded_prompt)
+        with pytest.raises(GenerationError):
+            Decoder().sample(distributions, temperature=0.0)

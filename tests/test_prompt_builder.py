@@ -1,0 +1,48 @@
+"""Tests for generation prompt construction."""
+
+from __future__ import annotations
+
+from repro.nlp import PromptBuilder, entity_counts
+from repro.types import FaultType
+
+
+class TestPromptBuilder:
+    def test_target_function_combines_class_and_function(self, sample_prompt):
+        assert sample_prompt.target_function == "process_transaction"
+
+    def test_features_include_spec_fields(self, sample_prompt):
+        features = sample_prompt.to_features()
+        assert features["fault_type"] == FaultType.TIMEOUT.value
+        assert features["has_target_function"] is True
+        assert features["code"]["has_code"] is True
+        assert features["code"]["selected_has_try"] is True
+
+    def test_features_without_context(self, extractor, prompt_builder):
+        spec = extractor.extract_from_text("introduce a memory leak in the worker")
+        prompt = prompt_builder.build(spec, None)
+        assert prompt.to_features()["code"] == {"has_code": False}
+
+    def test_to_text_mentions_description_and_entities(self, sample_prompt):
+        text = sample_prompt.to_text()
+        assert "Fault generation request" in text
+        assert "process_transaction" in text
+        assert "Recognised entities" in text
+        assert "Target code" in text
+
+    def test_refine_merges_directives(self, sample_prompt, prompt_builder):
+        refined = prompt_builder.refine(sample_prompt, {"wants_retry": True})
+        assert refined.feedback_directives["wants_retry"] is True
+        again = prompt_builder.refine(refined, {"severity": "high"})
+        assert again.feedback_directives == {"wants_retry": True, "severity": "high"}
+        # The original prompt is untouched.
+        assert sample_prompt.feedback_directives == {}
+
+    def test_feedback_directives_appear_in_features(self, sample_prompt, prompt_builder):
+        refined = prompt_builder.refine(sample_prompt, {"wants_retry": True})
+        assert refined.to_features()["directives"]["wants_retry"] is True
+
+    def test_entity_counts_cover_all_labels(self, sample_prompt):
+        counts = entity_counts(sample_prompt.spec)
+        assert counts["fault_keyword"] >= 1
+        assert counts["function"] >= 1
+        assert all(isinstance(value, int) for value in counts.values())

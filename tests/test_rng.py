@@ -1,0 +1,65 @@
+"""Tests for the deterministic random number management."""
+
+from __future__ import annotations
+
+from repro.rng import SeededRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        first = SeededRNG(7).generator.random(5)
+        second = SeededRNG(7).generator.random(5)
+        assert list(first) == list(second)
+
+    def test_different_seeds_differ(self):
+        assert list(SeededRNG(1).generator.random(5)) != list(SeededRNG(2).generator.random(5))
+
+    def test_forks_are_independent_of_each_other(self):
+        root = SeededRNG(3)
+        a = root.fork("a").generator.random(3)
+        b = root.fork("b").generator.random(3)
+        assert list(a) != list(b)
+
+    def test_fork_is_reproducible(self):
+        assert list(SeededRNG(5).fork("x").generator.random(4)) == list(
+            SeededRNG(5).fork("x").generator.random(4)
+        )
+
+    def test_adding_a_fork_does_not_perturb_existing_fork(self):
+        root_one = SeededRNG(11)
+        values_before = list(root_one.fork("worker").generator.random(3))
+        root_two = SeededRNG(11)
+        root_two.fork("other")  # extra consumer
+        values_after = list(root_two.fork("worker").generator.random(3))
+        assert values_before == values_after
+
+
+class TestHelpers:
+    def test_randint_range(self):
+        rng = SeededRNG(13)
+        values = [rng.randint(0, 5) for _ in range(200)]
+        assert min(values) >= 0
+        assert max(values) < 5
+
+    def test_choice_with_probabilities(self):
+        rng = SeededRNG(17)
+        values = [rng.choice(["a", "b"], p=[1.0, 0.0]) for _ in range(10)]
+        assert values == ["a"] * 10
+
+    def test_shuffle_preserves_elements(self):
+        rng = SeededRNG(19)
+        items = list(range(20))
+        shuffled = rng.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))  # original untouched
+
+    def test_uniform_bounds(self):
+        rng = SeededRNG(23)
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value < 3.0
+
+    def test_bernoulli_extremes(self):
+        rng = SeededRNG(29)
+        assert not any(rng.bernoulli(0.0) for _ in range(20))
+        assert all(rng.bernoulli(1.0) for _ in range(20))

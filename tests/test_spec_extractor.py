@@ -1,0 +1,135 @@
+"""Tests for natural-language fault specification extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.nlp import FaultSpecExtractor
+from repro.types import FaultDescription, FaultType, HandlingStyle, TriggerKind
+
+
+@pytest.fixture()
+def spec_extractor():
+    return FaultSpecExtractor()
+
+
+class TestFaultTypeClassification:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a database transaction fails due to a timeout", FaultType.TIMEOUT),
+            ("introduce a race condition between two workers", FaultType.RACE_CONDITION),
+            ("the worker leaks memory on every request", FaultType.MEMORY_LEAK),
+            ("the file handle is never closed, leaking the resource", FaultType.RESOURCE_LEAK),
+            ("an off-by-one error in the pagination loop", FaultType.OFF_BY_ONE),
+            ("the handler silently ignores errors", FaultType.SWALLOWED_EXCEPTION),
+            ("the loop never terminates and the request hangs", FaultType.INFINITE_LOOP),
+            ("remove the validation check on the input", FaultType.MISSING_CHECK),
+            ("it forgets to call the cleanup function", FaultType.MISSING_CALL),
+            ("the function returns the wrong total", FaultType.WRONG_RETURN),
+            ("silent corruption of the stored records", FaultType.DATA_CORRUPTION),
+            ("a network outage makes the service unreachable", FaultType.NETWORK_FAILURE),
+            ("the disk is full and writes fail with an i/o error", FaultType.DISK_FAILURE),
+            ("responses become very slow due to a latency spike", FaultType.DELAY),
+            ("an unhandled exception crashes the request", FaultType.EXCEPTION),
+            ("a deadlock blocks both workers forever", FaultType.DEADLOCK),
+        ],
+    )
+    def test_classification(self, spec_extractor, text, expected):
+        assert spec_extractor.extract_from_text(text).fault_type is expected
+
+    def test_unknown_when_no_cue(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("please review this module for style issues")
+        assert spec.fault_type is FaultType.UNKNOWN
+        assert spec.confidence < 0.5
+
+    def test_empty_description_raises(self, spec_extractor):
+        with pytest.raises(SpecificationError):
+            spec_extractor.extract(FaultDescription(text="   "))
+
+
+class TestTriggerExtraction:
+    def test_percentage_probability(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("fail the upload 25% of the time")
+        assert spec.trigger.kind is TriggerKind.PROBABILISTIC
+        assert spec.trigger.probability == pytest.approx(0.25)
+
+    def test_intermittent_keyword(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("the request occasionally times out")
+        assert spec.trigger.kind is TriggerKind.PROBABILISTIC
+
+    def test_nth_call(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("every 4th call to the API should fail with a timeout")
+        assert spec.trigger.kind is TriggerKind.ON_NTH_CALL
+        assert spec.trigger.nth_call == 4
+
+    def test_conditional_clause(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("raise an exception when the cart is empty")
+        assert spec.trigger.kind is TriggerKind.CONDITIONAL
+        assert "cart is empty" in spec.trigger.condition
+
+    def test_default_is_always(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("introduce a timeout in the checkout step")
+        assert spec.trigger.kind is TriggerKind.ALWAYS
+
+
+class TestHandlingAndDirectives:
+    def test_retry_handling(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("a timeout occurs and a retry mechanism kicks in")
+        assert spec.handling is HandlingStyle.RETRY
+        assert spec.directives.get("wants_retry")
+
+    def test_unhandled(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("an unhandled exception escapes the request handler")
+        assert spec.handling is HandlingStyle.UNHANDLED
+        assert spec.directives.get("wants_unhandled")
+
+    def test_fallback(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("on failure, fall back to a default value")
+        assert spec.handling is HandlingStyle.FALLBACK
+
+    def test_logging_only(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("the error is caught but it only logs the error")
+        assert spec.handling is HandlingStyle.LOGGED_ONLY
+
+
+class TestParametersAndTarget:
+    def test_seconds_parameter(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("add a delay of 500 milliseconds to the request")
+        assert spec.parameters["seconds"] == pytest.approx(0.5)
+
+    def test_exception_parameter_explicit(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("the call fails with a KeyError")
+        assert spec.parameters["exception"] == "KeyError"
+
+    def test_exception_parameter_default_for_timeout(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("the payment service times out")
+        assert spec.parameters["exception"] == "TimeoutError"
+
+    def test_target_from_code_context(self, spec_extractor, sample_module, running_example_text):
+        spec = spec_extractor.extract_from_text(running_example_text, sample_module)
+        assert spec.target.function == "process_transaction"
+
+    def test_target_matched_by_overlap_without_mention(self, spec_extractor, sample_module):
+        spec = spec_extractor.extract_from_text(
+            "make the discount total computation return a corrupted amount", sample_module
+        )
+        assert spec.target.function == "compute_total"
+
+    def test_components_collected(self, spec_extractor):
+        spec = spec_extractor.extract_from_text("the database connection to the cache is dropped")
+        assert "database" in spec.parameters.get("components", [])
+
+    def test_confidence_higher_with_code_and_keywords(self, spec_extractor, sample_module, running_example_text):
+        with_code = spec_extractor.extract_from_text(running_example_text, sample_module)
+        vague = spec_extractor.extract_from_text("something odd happens")
+        assert with_code.confidence > vague.confidence
+
+    def test_running_example_spec(self, spec_extractor, sample_module, running_example_text):
+        spec = spec_extractor.extract_from_text(running_example_text, sample_module)
+        assert spec.fault_type is FaultType.TIMEOUT
+        assert spec.handling is HandlingStyle.UNHANDLED
+        assert spec.target.function == "process_transaction"
+        assert spec.parameters["exception"] == "TimeoutError"
+        assert spec.confidence >= 0.5

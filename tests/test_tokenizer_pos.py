@@ -1,0 +1,97 @@
+"""Tests for tokenisation and part-of-speech tagging."""
+
+from __future__ import annotations
+
+from repro.nlp import PosTag, PosTagger, Tokenizer, content_words, normalize
+
+
+class TestTokenizer:
+    def setup_method(self):
+        self.tokenizer = Tokenizer()
+
+    def test_identifiers_are_single_tokens(self):
+        tokens = self.tokenizer.tokenize("a timeout in process_transaction occurs")
+        texts = [token.text for token in tokens]
+        assert "process_transaction" in texts
+
+    def test_dotted_identifiers_are_single_tokens(self):
+        tokens = self.tokenizer.tokenize("call OrderService.place_order now")
+        assert any(token.text == "OrderService.place_order" for token in tokens)
+
+    def test_call_style_identifiers(self):
+        tokens = self.tokenizer.tokenize("the close() call is missing")
+        assert any(token.text == "close()" and token.is_identifier for token in tokens)
+
+    def test_offsets_point_back_into_text(self):
+        text = "introduce a race condition"
+        for token in self.tokenizer.tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    def test_percentages_and_numbers(self):
+        tokens = self.tokenizer.tokenize("fail 30% of the time after 2.5 seconds")
+        percentage = next(token for token in tokens if token.text == "30%")
+        number = next(token for token in tokens if token.text == "2.5")
+        assert percentage.is_percentage and percentage.numeric_value() == 30.0
+        assert number.is_number and number.numeric_value() == 2.5
+
+    def test_sentences_split_on_terminators(self):
+        sentences = self.tokenizer.sentences("First sentence. Second one! Third?")
+        assert len(sentences) == 3
+
+    def test_words_lowercase_and_skip_punctuation(self):
+        words = self.tokenizer.words("Fail, then Retry!")
+        assert words == ["fail", "then", "retry"]
+
+    def test_ngrams_include_bigrams(self):
+        ngrams = set(self.tokenizer.ngrams("race condition occurs", max_n=2))
+        assert "race condition" in ngrams
+        assert "race" in ngrams
+
+    def test_normalize_collapses_whitespace_and_quotes(self):
+        assert normalize("a  “fault”   here") == 'a "fault" here'
+
+
+class TestPosTagger:
+    def setup_method(self):
+        self.tagger = PosTagger()
+
+    def tags_for(self, text):
+        return {item.text: item.tag for item in self.tagger.tag(text)}
+
+    def test_identifiers_tagged_ident(self):
+        tags = self.tags_for("inject a fault into process_transaction")
+        assert tags["process_transaction"] is PosTag.IDENT
+
+    def test_verbs_and_nouns(self):
+        tags = self.tags_for("introduce a race condition in the database")
+        assert tags["introduce"] is PosTag.VERB
+        assert tags["database"] is PosTag.NOUN
+
+    def test_exception_names_tagged_ident(self):
+        tags = self.tags_for("raise a TimeoutError here")
+        assert tags["TimeoutError"] is PosTag.IDENT
+
+    def test_numbers_tagged_num(self):
+        tags = self.tags_for("wait 5 seconds")
+        assert tags["5"] is PosTag.NUM
+
+    def test_adverbs_by_suffix(self):
+        tags = self.tags_for("the error is silently ignored")
+        assert tags["silently"] is PosTag.ADV
+
+    def test_prepositions_and_determiners(self):
+        tags = self.tags_for("within the function")
+        assert tags["within"] is PosTag.PREP
+        assert tags["the"] is PosTag.DET
+
+    def test_punctuation(self):
+        tags = self.tags_for("fails, badly")
+        assert tags[","] is PosTag.PUNCT
+
+    def test_content_words_filters_stopwords(self):
+        tagged = self.tagger.tag("introduce a timeout in the checkout function")
+        words = {item.lower for item in content_words(tagged)}
+        assert "timeout" in words
+        assert "checkout" in words
+        assert "the" not in words
+        assert "a" not in words
