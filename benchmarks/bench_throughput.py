@@ -1,0 +1,144 @@
+"""BENCH_THROUGHPUT — faults/sec: serial vs batched vs pooled execution.
+
+Measures the execution phase of a 20-scenario campaign against the bank target
+in three configurations:
+
+* ``serial-subprocess`` — the seed hot path: one ``subprocess.run`` per fault,
+  each cold-starting an interpreter and re-importing ``repro``;
+* ``batch-subprocess`` — the same subprocess sandbox driven concurrently by
+  ``run_many``/``run_batch`` worker threads;
+* ``pool`` — persistent sandbox workers that import the library once and serve
+  every fault;
+
+plus in-process serial as the lower bound.  Outcomes (fault id, activation,
+failure mode, ordering) must be identical across configurations for the same
+seed; the pooled path must beat the serial seed path by >= 3x.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import ExecutionConfig, IntegrationConfig
+from repro.integration import ExperimentRunner
+from repro.targets import get_target
+
+from conftest import write_result
+
+SCENARIO_COUNT = 20
+REQUESTED_WORKERS = 4
+
+SCENARIOS = [
+    "Simulate a timeout in the transfer function causing an unhandled exception",
+    "Introduce a race condition in apply_interest under concurrent updates",
+    "Make the withdraw function silently swallow errors instead of raising them",
+    "Remove the overdraft validation check from withdraw",
+    "Silently corrupt the amount returned by the transfer function",
+    "Cause deposit to lose updates under load",
+    "Make transfer return a wrong value without raising",
+    "Inject a delay into apply_interest that slows every statement run",
+    "Raise an unexpected exception in deposit when the amount is small",
+    "Corrupt the balance bookkeeping inside withdraw",
+    "Make apply_interest skip accounts intermittently",
+    "Introduce an off-by-one error in the interest calculation",
+    "Swallow the gateway error raised during transfer",
+    "Return early from withdraw before the ledger is updated",
+    "Invert the overdraft condition in withdraw",
+    "Make deposit double-count the amount occasionally",
+    "Make transfer debit the source account twice for the same movement",
+    "Leak the audit log handle opened by apply_interest",
+    "Make the statement function report stale balances",
+    "Raise a timeout while the ledger lock is held in transfer",
+]
+
+
+def _outcome_keys(outcomes):
+    """Order-sensitive fingerprint of a campaign, excluding wall-clock noise."""
+    return [
+        (o.fault_id, o.activated, o.failure_mode.value, o.tests_failed, o.details["reason"])
+        for o in outcomes
+    ]
+
+
+def _generate_faults(pipeline, target):
+    source = target.build_source()
+    faults = []
+    for scenario in SCENARIOS[:SCENARIO_COUNT]:
+        spec, context = pipeline.define_fault(scenario, code=source)
+        prompt = pipeline.build_prompt(spec, context)
+        faults.append(pipeline.generate_fault(prompt).fault)
+    return faults
+
+
+def test_execution_throughput(prepared_pipeline):
+    target = get_target("bank")
+    faults = _generate_faults(prepared_pipeline, target)
+    # No scenario in this set hangs, so a single slow timeout never dominates the
+    # critical path; 5s still gives sleep-shaped faults ample room.
+    config = IntegrationConfig(workload_iterations=25, test_timeout_seconds=5)
+    seed = prepared_pipeline.config.seed
+
+    timings: dict[str, float] = {}
+    keys: dict[str, list] = {}
+
+    def measure(label: str, execute):
+        started = time.perf_counter()
+        outcomes = execute()
+        timings[label] = time.perf_counter() - started
+        keys[label] = _outcome_keys(outcomes)
+
+    serial_runner = ExperimentRunner(
+        target, config=config, seed=seed, execution=ExecutionConfig(max_workers=1)
+    )
+    measure(
+        "serial-subprocess",
+        lambda: [serial_runner.run_generated(fault, mode="subprocess").outcome for fault in faults],
+    )
+
+    batch_runner = ExperimentRunner(
+        target, config=config, seed=seed, execution=ExecutionConfig(max_workers=REQUESTED_WORKERS)
+    )
+    measure(
+        "batch-subprocess",
+        lambda: batch_runner.run_many(faults, mode="subprocess").outcomes,
+    )
+
+    pool_runner = ExperimentRunner(
+        target, config=config, seed=seed, execution=ExecutionConfig(max_workers=REQUESTED_WORKERS)
+    )
+    measure("pool", lambda: pool_runner.run_many(faults, mode="pool").outcomes)
+
+    inprocess_runner = ExperimentRunner(
+        target, config=config, seed=seed, execution=ExecutionConfig(max_workers=1)
+    )
+    measure(
+        "serial-inprocess",
+        lambda: [inprocess_runner.run_generated(fault, mode="inprocess").outcome for fault in faults],
+    )
+
+    # Identical campaigns: same outcomes, same ordering, for every configuration.
+    assert keys["batch-subprocess"] == keys["serial-subprocess"]
+    assert keys["pool"] == keys["serial-subprocess"]
+
+    serial = timings["serial-subprocess"]
+    rows = ["config                 seconds   faults/sec   speedup-vs-serial"]
+    payload = {
+        "scenarios": len(faults),
+        "requested_workers": REQUESTED_WORKERS,
+        "resolved_workers": ExecutionConfig(max_workers=REQUESTED_WORKERS).resolved_workers(),
+        "configs": {},
+    }
+    for label, elapsed in timings.items():
+        speedup = serial / elapsed if elapsed else float("inf")
+        payload["configs"][label] = {
+            "seconds": round(elapsed, 3),
+            "faults_per_second": round(len(faults) / elapsed, 2) if elapsed else None,
+            "speedup_vs_serial_subprocess": round(speedup, 2),
+        }
+        rows.append(
+            f"{label:<22} {elapsed:>7.2f}   {len(faults) / elapsed:>10.2f}   {speedup:>17.2f}"
+        )
+    write_result("throughput", payload, table="\n".join(rows))
+
+    # The acceptance bar: pooled execution beats the serial seed path >= 3x.
+    assert serial / timings["pool"] >= 3.0, payload

@@ -36,6 +36,7 @@ Quickstart::
 
 from .config import (
     DatasetConfig,
+    ExecutionConfig,
     IntegrationConfig,
     ModelConfig,
     PipelineConfig,
@@ -69,6 +70,7 @@ __all__ = [
     "CampaignOrchestrator",
     "ComparisonResult",
     "DatasetConfig",
+    "ExecutionConfig",
     "FailureMode",
     "FaultDescription",
     "FaultSpec",

@@ -114,6 +114,42 @@ class IntegrationConfig:
         return asdict(self)
 
 
+#: Execution modes understood by the sandbox runner and campaign orchestrator.
+EXECUTION_MODES = ("inprocess", "subprocess", "pool")
+
+
+@dataclass
+class ExecutionConfig:
+    """How campaign experiments are scheduled across workers.
+
+    ``max_workers`` is a request, not a guarantee: pools are capped from
+    ``os.cpu_count()`` (see :func:`repro.execution.resolve_workers`).
+    """
+
+    max_workers: int | None = None
+    batch_size: int = 32
+    default_mode: str = "inprocess"
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ConfigurationError("max_workers must be positive when set")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if self.default_mode not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"default_mode must be one of {EXECUTION_MODES}, got {self.default_mode!r}"
+            )
+
+    def resolved_workers(self, requested: int | None = None) -> int:
+        """The worker count actually used, capped by the machine's CPU count."""
+        from .execution import resolve_workers
+
+        return resolve_workers(requested if requested is not None else self.max_workers)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
 @dataclass
 class DatasetConfig:
     """Dataset generation parameters (Section IV-1)."""
@@ -142,6 +178,7 @@ class PipelineConfig:
     rlhf: RLHFConfig = field(default_factory=RLHFConfig)
     integration: IntegrationConfig = field(default_factory=IntegrationConfig)
     dataset: DatasetConfig = field(default_factory=DatasetConfig)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     max_refinement_iterations: int = 5
     use_code_context: bool = True
     seed: int = 23
@@ -157,6 +194,7 @@ class PipelineConfig:
             "rlhf": self.rlhf.to_dict(),
             "integration": self.integration.to_dict(),
             "dataset": self.dataset.to_dict(),
+            "execution": self.execution.to_dict(),
             "max_refinement_iterations": self.max_refinement_iterations,
             "use_code_context": self.use_code_context,
             "seed": self.seed,
@@ -177,6 +215,7 @@ class PipelineConfig:
             rlhf=build(RLHFConfig, "rlhf"),
             integration=build(IntegrationConfig, "integration"),
             dataset=build(DatasetConfig, "dataset"),
+            execution=build(ExecutionConfig, "execution"),
             max_refinement_iterations=int(data.get("max_refinement_iterations", 5)),
             use_code_context=bool(data.get("use_code_context", True)),
             seed=int(data.get("seed", 23)),

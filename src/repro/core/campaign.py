@@ -4,12 +4,18 @@
 target system with the neural pipeline, and runs the conventional baselines
 against the same target, producing the coverage / effectiveness / efficiency
 comparison the paper promises as future validation (Section V).
+
+Fault *generation* stays serial (the policy network is stateful and cheap);
+fault *execution* — the expensive sandbox runs — is submitted as one batch per
+technique through :meth:`~repro.integration.ExperimentRunner.run_many`, so
+independent experiments run concurrently while reports keep the deterministic,
+seed-stable ordering of the serial path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 from ..baselines import ManualEffortModel, PredefinedModelInjector, RandomInjector
 from ..baselines.predefined import PREDEFINED_FAULT_TYPES
@@ -23,8 +29,11 @@ from ..eval import (
 )
 from ..integration import CampaignReport, ExperimentRunner
 from ..targets import TargetSystem, get_target
-from ..types import FaultSpec
+from ..types import CodeContext, FaultSpec
 from .pipeline import NeuralFaultInjector
+
+#: One scenario processed by the NLP engine: (spec, code context).
+DefinedScenario = tuple[FaultSpec, CodeContext | None]
 
 
 @dataclass
@@ -84,30 +93,49 @@ class CampaignOrchestrator:
         self,
         pipeline: NeuralFaultInjector,
         target: TargetSystem | str,
-        mode: str = "inprocess",
+        mode: str | None = None,
     ) -> None:
         self.pipeline = pipeline
         self.target = get_target(target) if isinstance(target, str) else target
-        self.mode = mode
+        self.mode = mode if mode is not None else pipeline.config.execution.default_mode
         self._effort_model = ManualEffortModel()
+        self._baseline_runner_cache: ExperimentRunner | None = None
+
+    # -- scenario definition ------------------------------------------------------------
+
+    def define_scenarios(self, scenarios: Sequence[str]) -> list[DefinedScenario]:
+        """Run every scenario through fault definition + NLP processing once.
+
+        :meth:`compare` extracts the specs a single time and shares them with
+        all three techniques instead of re-processing the scenario list per
+        technique.
+        """
+        source = self.target.build_source()
+        return [self.pipeline.define_fault(scenario, code=source) for scenario in scenarios]
 
     # -- neural -----------------------------------------------------------------------
 
-    def run_neural(self, scenarios: list[str], feedback_rounds: float = 1.0) -> TechniqueResult:
+    def run_neural(
+        self,
+        scenarios: list[str],
+        feedback_rounds: float = 1.0,
+        defined: list[DefinedScenario] | None = None,
+    ) -> TechniqueResult:
         """Run every scenario through the neural pipeline and test the results."""
         runner = self.pipeline._runner_for(self.target)
+        defined = defined if defined is not None else self.define_scenarios(scenarios)
         specs: list[FaultSpec] = []
         templates: list[str] = []
-        campaign = CampaignReport(name=f"neural-{self.target.name}")
-        source = self.target.build_source()
-        for scenario in scenarios:
-            spec, context = self.pipeline.define_fault(scenario, code=source)
+        faults = []
+        for spec, context in defined:
             prompt = self.pipeline.build_prompt(spec, context)
             candidate = self.pipeline.generate_fault(prompt)
             specs.append(spec)
             templates.append(candidate.decisions.template)
-            record = runner.run_generated(candidate.fault, mode=self._mode_for(candidate.decisions.template))
-            campaign.add_outcome(record.outcome, target=self.target.name)
+            faults.append(candidate.fault)
+        batch = runner.run_many(faults, mode=self.mode)
+        campaign = CampaignReport(name=f"neural-{self.target.name}")
+        campaign.add_batch(batch)
         coverage = neural_coverage(specs, templates)
         effect = effectiveness(campaign.outcomes, technique="neural")
         effort = self._effort_model.neural(len(scenarios), feedback_rounds_per_scenario=feedback_rounds)
@@ -122,17 +150,21 @@ class CampaignOrchestrator:
 
     # -- baselines ----------------------------------------------------------------------
 
-    def run_predefined(self, scenarios: list[str], budget: int | None = None) -> TechniqueResult:
+    def run_predefined(
+        self,
+        scenarios: list[str],
+        budget: int | None = None,
+        defined: list[DefinedScenario] | None = None,
+    ) -> TechniqueResult:
         """Run the conventional predefined-fault-model baseline."""
         injector = PredefinedModelInjector()
         source = self.target.build_source()
-        specs = [self.pipeline.define_fault(scenario, code=source)[0] for scenario in scenarios]
+        defined = defined if defined is not None else self.define_scenarios(scenarios)
+        specs = [spec for spec, _context in defined]
         plan = injector.plan(source, budget=budget or len(scenarios) * 2)
-        runner = ExperimentRunner(self.target, config=self.pipeline.config.integration, seed=self.pipeline.config.seed)
+        batch = self._baseline_runner().run_many(plan.faults, mode=self.mode)
         campaign = CampaignReport(name=f"predefined-{self.target.name}")
-        for applied in plan.faults:
-            record = runner.run_applied(applied, mode=self._mode_for(applied.operator))
-            campaign.add_outcome(record.outcome, target=self.target.name)
+        campaign.add_batch(batch)
         coverage = baseline_coverage(specs, injector.can_express, PREDEFINED_FAULT_TYPES, technique="predefined-model")
         effect = effectiveness(campaign.outcomes, technique="predefined-model")
         expressible = coverage.scenario_coverage
@@ -146,17 +178,21 @@ class CampaignOrchestrator:
             extra={"planned_faults": len(plan.faults)},
         )
 
-    def run_random(self, scenarios: list[str], budget: int | None = None) -> TechniqueResult:
+    def run_random(
+        self,
+        scenarios: list[str],
+        budget: int | None = None,
+        defined: list[DefinedScenario] | None = None,
+    ) -> TechniqueResult:
         """Run the uninformed random-mutation baseline."""
         injector = RandomInjector()
         source = self.target.build_source()
-        specs = [self.pipeline.define_fault(scenario, code=source)[0] for scenario in scenarios]
+        defined = defined if defined is not None else self.define_scenarios(scenarios)
+        specs = [spec for spec, _context in defined]
         plan = injector.plan(source, budget=budget or len(scenarios) * 2)
-        runner = ExperimentRunner(self.target, config=self.pipeline.config.integration, seed=self.pipeline.config.seed)
+        batch = self._baseline_runner().run_many(plan.faults, mode=self.mode)
         campaign = CampaignReport(name=f"random-{self.target.name}")
-        for applied in plan.faults:
-            record = runner.run_applied(applied, mode=self._mode_for(applied.operator))
-            campaign.add_outcome(record.outcome, target=self.target.name)
+        campaign.add_batch(batch)
         coverage = baseline_coverage(specs, injector.can_express, set(), technique="random")
         coverage.covered_fault_types = {fault.fault_type for fault in plan.faults}
         effect = effectiveness(campaign.outcomes, technique="random")
@@ -173,23 +209,36 @@ class CampaignOrchestrator:
     # -- comparison ---------------------------------------------------------------------
 
     def compare(self, scenarios: list[str], budget: int | None = None) -> ComparisonResult:
-        """Run all three techniques on the same scenarios and target."""
+        """Run all three techniques on the same scenarios and target.
+
+        The scenario list is processed by the NLP engine exactly once and the
+        resulting specs are shared across the techniques.
+        """
+        defined = self.define_scenarios(scenarios)
         result = ComparisonResult(target=self.target.name)
-        result.techniques["neural"] = self.run_neural(scenarios)
-        result.techniques["predefined-model"] = self.run_predefined(scenarios, budget=budget)
-        result.techniques["random"] = self.run_random(scenarios, budget=budget)
+        result.techniques["neural"] = self.run_neural(scenarios, defined=defined)
+        result.techniques["predefined-model"] = self.run_predefined(scenarios, budget=budget, defined=defined)
+        result.techniques["random"] = self.run_random(scenarios, budget=budget, defined=defined)
         return result
 
-    def efficiency_comparison(self, scenarios: list[str]) -> dict[str, Any]:
+    def efficiency_comparison(self, scenarios: list[str], defined: list[DefinedScenario] | None = None) -> dict[str, Any]:
         """Manual-effort comparison matching the paper's efficiency claim."""
         injector = PredefinedModelInjector()
-        source = self.target.build_source()
-        specs = [self.pipeline.define_fault(scenario, code=source)[0] for scenario in scenarios]
+        defined = defined if defined is not None else self.define_scenarios(scenarios)
+        specs = [spec for spec, _context in defined]
         expressible = sum(1 for spec in specs if injector.can_express(spec)) / len(specs) if specs else 0.0
         return compare_effort(len(scenarios), expressible_fraction=expressible).to_dict()
 
-    def _mode_for(self, hint: str) -> str:
-        """Hang-prone faults always run in a subprocess; others use the default mode."""
-        if any(marker in hint for marker in ("infinite_loop", "deadlock")):
-            return "subprocess"
-        return self.mode
+    # -- internals ----------------------------------------------------------------------
+
+    def _baseline_runner(self) -> ExperimentRunner:
+        """One shared runner for the baseline techniques, so pool-mode campaigns
+        reuse a single worker pool and scratch directory across techniques."""
+        if self._baseline_runner_cache is None:
+            self._baseline_runner_cache = ExperimentRunner(
+                self.target,
+                config=self.pipeline.config.integration,
+                seed=self.pipeline.config.seed,
+                execution=self.pipeline.config.execution,
+            )
+        return self._baseline_runner_cache

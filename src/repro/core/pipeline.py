@@ -227,7 +227,10 @@ class NeuralFaultInjector:
         target_system = get_target(target) if isinstance(target, str) else target
         if target_system.name not in self._experiment_runners:
             self._experiment_runners[target_system.name] = ExperimentRunner(
-                target_system, config=self.config.integration, seed=self.config.seed
+                target_system,
+                config=self.config.integration,
+                seed=self.config.seed,
+                execution=self.config.execution,
             )
         return self._experiment_runners[target_system.name]
 

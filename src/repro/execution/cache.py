@@ -1,0 +1,134 @@
+"""Hash-keyed memoization caches shared by the analysis and execution layers.
+
+Campaigns evaluate N fault scenarios against one target, so the same module
+source is parsed, analysed, and rebuilt over and over.  The caches here key
+expensive derivations on a SHA-256 of their inputs so each distinct source is
+processed once per process.  Cached values are shared objects: callers that
+mutate what they receive must opt out of the cache (see
+:func:`repro.injection.ast_utils.parse_module`'s ``mutable`` flag).
+
+Caches are bounded LRU maps and thread-safe, because batched subprocess
+execution drives them from worker threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+_REGISTRY: dict[str, "HashKeyedCache"] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class HashKeyedCache:
+    """A bounded, thread-safe memoization cache keyed by hashed input material.
+
+    ``misses`` counts actual computations, so a test can assert "this source
+    was parsed exactly once" by reading the stats.
+    """
+
+    def __init__(self, name: str, max_entries: int = 256) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.name = name
+        self._max_entries = max_entries
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+        with _REGISTRY_LOCK:
+            _REGISTRY[name] = self
+
+    @staticmethod
+    def key_for(*parts: str | None) -> str:
+        """Stable digest of the input material identifying one cache entry."""
+        digest = hashlib.sha256()
+        for part in parts:
+            digest.update(b"\x00" if part is None else part.encode("utf-8", "replace"))
+            digest.update(b"\x1f")
+        return digest.hexdigest()
+
+    def get_or_compute(self, key: str, compute: Callable[[], T]) -> T:
+        """Return the cached value for ``key``, computing and storing on miss.
+
+        ``compute`` runs outside the lock so a slow parse never blocks
+        unrelated lookups; concurrent misses on the same key may compute
+        twice, which is wasteful but correct for pure derivations.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+        value = compute()
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+def get_cache(name: str, max_entries: int = 256) -> HashKeyedCache:
+    """Return the process-wide cache registered under ``name``, creating it if needed."""
+    with _REGISTRY_LOCK:
+        existing = _REGISTRY.get(name)
+    if existing is not None:
+        return existing
+    return HashKeyedCache(name, max_entries=max_entries)
+
+
+def cache_stats() -> dict[str, dict[str, Any]]:
+    """Stats snapshot for every registered cache (for benchmarks and reports)."""
+    with _REGISTRY_LOCK:
+        caches = list(_REGISTRY.values())
+    return {cache.name: cache.stats.to_dict() for cache in caches}
+
+
+def clear_all_caches() -> None:
+    """Reset every registered cache (used by tests to isolate hit counting)."""
+    with _REGISTRY_LOCK:
+        caches = list(_REGISTRY.values())
+    for cache in caches:
+        cache.clear()

@@ -1,0 +1,233 @@
+"""Persistent sandbox worker pool for fault-injection campaigns.
+
+The per-fault ``subprocess.run`` hot path pays an interpreter start plus a full
+``repro`` import for every experiment — two orders of magnitude more than the
+workload itself.  :class:`WorkerPool` keeps a small set of forked worker
+processes alive across a whole campaign: each worker inherits (or imports) the
+library once and then serves many fault executions.
+
+Isolation properties match subprocess mode where it matters:
+
+* every task runs with a hard per-task timeout, enforced *inside* the worker
+  with ``SIGALRM`` so pure-Python hangs (infinite loops, deadlocks, sleeps)
+  are aborted without killing the worker;
+* a parent-side backstop catches workers wedged in ways the alarm cannot
+  reach, terminating and transparently rebuilding the pool;
+* results are returned in submission order regardless of completion order, so
+  campaign reports are deterministic for a given seed.
+
+Tasks and results cross the process boundary as plain dicts; the integration
+layer converts them to :class:`~repro.integration.runner.RunObservation`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from concurrent.futures import CancelledError, ProcessPoolExecutor, TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any
+
+from ..errors import SandboxError
+
+#: Extra parent-side grace on top of the in-worker alarm before a worker is
+#: declared wedged and the pool is rebuilt.
+_BACKSTOP_GRACE_SECONDS = 5.0
+
+
+def worker_cap() -> int:
+    """Upper bound on pool sizes derived from the machine's CPU count.
+
+    The cap grows with the core count (2x headroom), but never drops below
+    four workers: injected faults are frequently sleep-bound (delays, timeouts
+    held under locks), and sleeping workers overlap perfectly even on a single
+    core.
+    """
+    return max(4, (os.cpu_count() or 1) * 2)
+
+
+def resolve_workers(requested: int | None, default: int = 4) -> int:
+    """Clamp a requested worker count to ``[1, worker_cap()]``."""
+    workers = requested if requested is not None else default
+    return max(1, min(int(workers), worker_cap()))
+
+
+class _TaskTimeout(BaseException):
+    """Raised inside a worker when a task exceeds its time budget.
+
+    Derives from :class:`BaseException` so the ``except Exception`` harnesses
+    inside :meth:`repro.targets.TargetSystem.execute` (whose whole job is
+    catching workload failures) cannot swallow the timeout signal.
+    """
+
+
+def _alarm_handler(_signum, _frame):  # pragma: no cover - runs in worker processes
+    raise _TaskTimeout()
+
+
+def _pool_initializer() -> None:  # pragma: no cover - runs in worker processes
+    """Warm the library import once per worker (a no-op under fork)."""
+    import repro.targets  # noqa: F401
+
+
+def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
+    """Run one target workload inside a pool worker and report a plain dict.
+
+    Must stay importable at module top level so the executor can pickle it.
+    """
+    from ..targets import get_target
+
+    timeout = float(task.get("timeout_seconds") or 0.0)
+    use_alarm = timeout > 0 and hasattr(signal, "SIGALRM") and threading.current_thread() is threading.main_thread()
+    previous_handler = None
+    if use_alarm:
+        previous_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        target = get_target(task["target"])
+        try:
+            result = target.execute(
+                source=task["source"],
+                iterations=int(task["iterations"]),
+                seed=int(task["seed"]),
+            )
+        finally:
+            # Disarm immediately so a task finishing just under the deadline is
+            # not misreported as a timeout while its payload is being built.
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+        return {"status": "ok", "result": result.to_dict()}
+    except _TaskTimeout:
+        return {"status": "timeout"}
+    except BaseException as exc:  # noqa: BLE001 - workers must never die on a task
+        return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+
+
+class WorkerPool:
+    """A persistent pool of sandbox worker processes serving fault runs.
+
+    The executor is created lazily and rebuilt automatically if a task wedges
+    or kills a worker, so one pathological fault cannot poison a campaign.
+    """
+
+    def __init__(self, max_workers: int | None = None, task_timeout_seconds: float = 10.0) -> None:
+        if task_timeout_seconds <= 0:
+            raise SandboxError("task_timeout_seconds must be positive")
+        self.max_workers = resolve_workers(max_workers)
+        self.task_timeout_seconds = float(task_timeout_seconds)
+        self._executor: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self.tasks_executed = 0
+        self.pool_rebuilds = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_pool_initializer,
+                )
+            return self._executor
+
+    def _recycle(self) -> None:
+        """Terminate every worker and force the next submission to rebuild."""
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+        if executor is None:
+            return
+        self.pool_rebuilds += 1
+        processes = list(getattr(executor, "_processes", {}).values())
+        for process in processes:
+            process.terminate()
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Dispose of the worker processes (idempotent)."""
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        self.shutdown()
+
+    # -- execution ----------------------------------------------------------------
+
+    def run_batch(
+        self,
+        target_name: str,
+        module_sources: list[str],
+        seed: int = 0,
+        iterations: int = 25,
+        timeout_seconds: float | None = None,
+    ) -> list[dict[str, Any]]:
+        """Execute every source against ``target_name``, preserving input order.
+
+        Returns one payload dict per source: ``{"status": "ok", "result": ...}``,
+        ``{"status": "timeout"}``, or ``{"status": "error", "error": ...}``.
+        """
+        timeout = float(timeout_seconds if timeout_seconds is not None else self.task_timeout_seconds)
+        tasks = [
+            {
+                "target": target_name,
+                "source": source,
+                "seed": seed,
+                "iterations": iterations,
+                "timeout_seconds": timeout,
+            }
+            for source in module_sources
+        ]
+        backstop = timeout + _BACKSTOP_GRACE_SECONDS
+        results: list[dict[str, Any] | None] = [None] * len(tasks)
+        executor = self._ensure_executor()
+        futures = [executor.submit(_execute_task, task) for task in tasks]
+        needs_retry: list[int] = []
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result(timeout=backstop)
+            except FutureTimeoutError:
+                results[index] = {"status": "timeout"}
+                self._recycle()  # outstanding futures fail over to the retry pass
+            except (BrokenProcessPool, CancelledError):
+                # A sibling wedged or killed its worker: running futures break,
+                # queued ones are cancelled by the recycle.  Both rerun below.
+                self._recycle()
+                needs_retry.append(index)
+            except Exception as exc:  # noqa: BLE001 - submission/pickling failures
+                results[index] = {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
+
+        # Retry pass: tasks whose sibling broke the pool rerun one at a time on
+        # a fresh executor, so a task that itself kills workers only fails itself.
+        for index in needs_retry:
+            results[index] = self._run_single(tasks[index], backstop)
+
+        self.tasks_executed += len(tasks)
+        return [payload if payload is not None else {"status": "error", "error": "task produced no result"} for payload in results]
+
+    def _run_single(self, task: dict[str, Any], backstop: float) -> dict[str, Any]:
+        try:
+            future = self._ensure_executor().submit(_execute_task, task)
+            return future.result(timeout=backstop)
+        except FutureTimeoutError:
+            self._recycle()
+            return {"status": "timeout"}
+        except (BrokenProcessPool, CancelledError):
+            self._recycle()
+            return {"status": "error", "error": "worker process died while executing the task"}
+        except Exception as exc:  # noqa: BLE001
+            return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}

@@ -12,16 +12,46 @@ import copy
 from typing import Iterable, Iterator
 
 from ..errors import CodeAnalysisError
+from ..execution.cache import get_cache
 
 FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
 
+#: Memoizes parsed trees by source hash.  ``misses`` counts actual parses.
+PARSE_CACHE = get_cache("ast-parse")
 
-def parse_module(source: str, path: str | None = None) -> ast.Module:
-    """Parse ``source`` into a module AST, raising :class:`CodeAnalysisError` on failure."""
+
+def parse_module(source: str, path: str | None = None, *, mutable: bool = True) -> ast.Module:
+    """Parse ``source`` into a module AST, raising :class:`CodeAnalysisError` on failure.
+
+    With ``mutable=False`` the returned tree comes from a process-wide cache
+    keyed on the source hash, so N analyses of one module parse it once.  The
+    cached tree is shared: callers taking this path must treat it as
+    read-only.  The default behaviour (``mutable=True``) returns a fresh,
+    privately owned parse, as the injection operators mutate trees in place.
+    """
+    if not mutable:
+        return PARSE_CACHE.get_or_compute(
+            PARSE_CACHE.key_for(source), lambda: _parse(source, path)
+        )
+    return _parse(source, path)
+
+
+def _parse(source: str, path: str | None) -> ast.Module:
     try:
         return ast.parse(source)
     except SyntaxError as exc:
         raise CodeAnalysisError(f"target code is not valid Python: {exc}", source_path=path) from exc
+
+
+def normalised_source(source: str, path: str | None = None) -> str:
+    """``source`` round-tripped through parse/unparse (cached by source hash).
+
+    Operators compare their output against this normal form to detect no-op
+    mutations; memoizing it means a planning pass over one module normalises
+    it once instead of once per applied fault.
+    """
+    cache = get_cache("ast-normalise")
+    return cache.get_or_compute(cache.key_for(source), lambda: unparse(_parse(source, path)))
 
 
 def unparse(tree: ast.AST) -> str:
@@ -67,7 +97,7 @@ def function_names(tree: ast.Module) -> list[str]:
 
 def function_source(source: str, name: str) -> str:
     """Extract the source text of a single function from a module."""
-    tree = parse_module(source)
+    tree = parse_module(source, mutable=False)
     node = find_function(tree, name)
     if node is None:
         raise CodeAnalysisError(f"function {name!r} not found in target code")

@@ -84,7 +84,7 @@ class FaultOperator(ABC):
 
     def find_points(self, source: str) -> list[InjectionPoint]:
         """Enumerate every location in ``source`` where the operator applies."""
-        tree = ast_utils.parse_module(source)
+        tree = ast_utils.parse_module(source, mutable=False)
         points: list[InjectionPoint] = []
         for function, class_name in ast_utils.iter_functions(tree):
             points.extend(self._find_in_function(function, class_name))
@@ -131,7 +131,7 @@ class FaultOperator(ABC):
         function = self._locate_function(tree, point)
         self._mutate(tree, function, point, rng, parameters)
         mutated = ast_utils.unparse(tree)
-        if mutated == source or mutated == ast_utils.unparse(ast_utils.parse_module(source)):
+        if mutated == source or mutated == ast_utils.normalised_source(source):
             raise InjectionError(
                 f"operator {self.name} produced no change at {point.qualified_function}:{point.lineno}",
                 operator=self.name,

@@ -9,21 +9,28 @@ Integration and Testing Tool" of Section III-B.4 as an executable component.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
 
-from ..config import IntegrationConfig
+from ..config import ExecutionConfig, IntegrationConfig
 from ..errors import ExperimentError, IntegrationError
 from ..injection.operators import AppliedFault
 from ..targets import TargetRunResult, TargetSystem, get_target
 from ..types import FailureMode, GeneratedFault, InjectionOutcome
 from .integrator import FaultIntegrator, IntegratedFault
 from .monitors import Classification, FailureClassifier
-from .runner import SandboxRunner
+from .runner import RunObservation, SandboxRunner
 from .workspace import WorkspaceManager
 
-#: Faults with these templates/operators can legitimately hang; they are always
-#: executed in subprocess mode regardless of the requested default.
+#: Faults with these templates/operators can legitimately hang; they are never
+#: executed in-process regardless of the requested default.  Pool workers
+#: enforce per-task timeouts, so pool mode is hang-safe as-is.
 _HANG_PRONE_MARKERS = ("infinite_loop", "deadlock")
+
+
+def _effective_mode(mode: str, hint: str | None) -> str:
+    if mode != "pool" and any(marker in (hint or "") for marker in _HANG_PRONE_MARKERS):
+        return "subprocess"
+    return mode
 
 
 @dataclass
@@ -63,10 +70,12 @@ class ExperimentRunner:
         classifier: FailureClassifier | None = None,
         workspaces: WorkspaceManager | None = None,
         seed: int = 0,
+        execution: ExecutionConfig | None = None,
     ) -> None:
         self.target = get_target(target) if isinstance(target, str) else target
         self.config = config or IntegrationConfig()
-        self._runner = runner or SandboxRunner(self.config)
+        self.execution = execution or ExecutionConfig()
+        self._runner = runner or SandboxRunner(self.config, execution=self.execution)
         self._classifier = classifier or FailureClassifier()
         self._integrator = FaultIntegrator(workspaces)
         self._seed = seed
@@ -102,31 +111,82 @@ class ExperimentRunner:
 
     # -- batches -------------------------------------------------------------------
 
+    def run_many(
+        self,
+        faults: Sequence[GeneratedFault | AppliedFault],
+        mode: str = "subprocess",
+        max_workers: int | None = None,
+    ) -> ExperimentBatch:
+        """Integrate and execute many faults, running independent experiments concurrently.
+
+        Faults may mix LLM-generated and operator-applied kinds.  Integration
+        happens up front (it is cheap and shares the cached target source and
+        parse trees); the sandbox runs are then submitted as per-mode batches.
+        Records come back in input order and, run for run, match what a serial
+        loop over :meth:`run_generated` / :meth:`run_applied` produces for the
+        same seed.
+        """
+        faults = list(faults)
+        records: list[ExperimentRecord | None] = [None] * len(faults)
+        pending: list[tuple[int, str, IntegratedFault, str]] = []
+        for index, fault in enumerate(faults):
+            if isinstance(fault, AppliedFault):
+                hint = fault.operator
+                try:
+                    integrated = self._integrator.integrate_applied(self.target, fault)
+                except IntegrationError as exc:
+                    identifier = f"{fault.operator}@{fault.point.qualified_function}"
+                    records[index] = self._integration_failure(identifier, str(exc))
+                    continue
+                fault_id = integrated.fault_id
+            else:
+                hint = fault.actions.get("template", "")
+                try:
+                    integrated = self._integrator.integrate_generated(self.target, fault)
+                except IntegrationError as exc:
+                    records[index] = self._integration_failure(fault.fault_id, str(exc))
+                    continue
+                fault_id = fault.fault_id
+            pending.append((index, fault_id, integrated, _effective_mode(mode, hint)))
+
+        baseline = self.baseline if pending else None
+        by_mode: dict[str, list[tuple[int, str, IntegratedFault]]] = {}
+        for index, fault_id, integrated, effective_mode in pending:
+            by_mode.setdefault(effective_mode, []).append((index, fault_id, integrated))
+        for effective_mode, group in by_mode.items():
+            observations = self._runner.run_batch(
+                self.target.name,
+                [integrated.module_source for _, _, integrated in group],
+                seed=self._seed,
+                iterations=self.config.workload_iterations,
+                mode=effective_mode,
+                max_workers=max_workers,
+            )
+            for (index, fault_id, integrated), observation in zip(group, observations):
+                records[index] = self._record_from_observation(
+                    fault_id, integrated, observation, effective_mode, baseline
+                )
+
+        batch = ExperimentBatch(target_name=self.target.name)
+        batch.records = [record for record in records if record is not None]
+        return batch
+
     def run_batch_generated(
         self, faults: Iterable[GeneratedFault], mode: str = "subprocess"
     ) -> ExperimentBatch:
-        batch = ExperimentBatch(target_name=self.target.name)
-        for fault in faults:
-            batch.records.append(self.run_generated(fault, mode=mode))
-        return batch
+        return self.run_many(list(faults), mode=mode)
 
     def run_batch_applied(
         self, faults: Iterable[AppliedFault], mode: str = "subprocess"
     ) -> ExperimentBatch:
-        batch = ExperimentBatch(target_name=self.target.name)
-        for applied in faults:
-            batch.records.append(self.run_applied(applied, mode=mode))
-        return batch
+        return self.run_many(list(faults), mode=mode)
 
     # -- internals ----------------------------------------------------------------
 
     def _execute(
         self, fault_id: str, integrated: IntegratedFault, mode: str, hint: str = ""
     ) -> ExperimentRecord:
-        baseline = self.baseline
-        effective_mode = mode
-        if any(marker in (hint or "") for marker in _HANG_PRONE_MARKERS):
-            effective_mode = "subprocess"
+        effective_mode = _effective_mode(mode, hint)
         observation = self._runner.run(
             self.target.name,
             integrated.module_source,
@@ -134,6 +194,17 @@ class ExperimentRunner:
             iterations=self.config.workload_iterations,
             mode=effective_mode,
         )
+        return self._record_from_observation(fault_id, integrated, observation, effective_mode, self.baseline)
+
+    def _record_from_observation(
+        self,
+        fault_id: str,
+        integrated: IntegratedFault,
+        observation: RunObservation,
+        effective_mode: str,
+        baseline: TargetRunResult | None = None,
+    ) -> ExperimentRecord:
+        baseline = baseline if baseline is not None else self.baseline
         classification = self._classifier.classify(observation, baseline)
         result = observation.result
         outcome = InjectionOutcome(

@@ -100,7 +100,7 @@ class FaultIntegrator:
         mutated: str,
         patch: Patch,
     ) -> IntegratedFault:
-        ast_utils.parse_module(mutated, path=f"{target.name}.py")
+        ast_utils.parse_module(mutated, path=f"{target.name}.py", mutable=False)
         workspace = None
         if self._workspaces is not None:
             workspace = self._workspaces.create(label=f"{target.name}-{fault_id[:12]}", source=mutated)

@@ -1,25 +1,39 @@
 """Sandboxed execution of target workloads against (mutated) module sources.
 
-Two execution modes are provided:
+Three execution modes are provided:
 
-* ``subprocess`` (default for campaigns) — the workload runs in a separate
-  Python process with a hard timeout, so injected hangs, deadlocks, and
-  infinite loops are observed as timeouts rather than wedging the harness;
+* ``subprocess`` (default for one-off campaigns) — the workload runs in a
+  separate Python process with a hard timeout, so injected hangs, deadlocks,
+  and infinite loops are observed as timeouts rather than wedging the harness;
+* ``pool`` — the workload runs on a persistent sandbox worker from
+  :class:`repro.execution.WorkerPool`; workers import the library once and
+  serve many runs, eliminating the per-fault interpreter start + import cost
+  while keeping per-task timeouts;
 * ``inprocess`` — the workload runs in the current interpreter, which is much
   faster and is what unit tests and quick examples use for faults that cannot
   hang.
+
+Batches submitted through :meth:`SandboxRunner.run_batch` execute concurrently
+(threads driving subprocesses, or pool workers) and always return observations
+in submission order, so campaign reports stay deterministic for a given seed.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import subprocess
 import sys
+import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
-from ..config import IntegrationConfig
+from ..config import ExecutionConfig, IntegrationConfig
 from ..errors import SandboxError
+from ..execution import WorkerPool, resolve_workers
 from ..targets import TargetRunResult, get_target
 
 _DRIVER = """
@@ -34,6 +48,8 @@ with open(sys.argv[2], "r") as handle:
 result = target.execute(source=source, iterations=int(sys.argv[3]), seed=int(sys.argv[4]))
 sys.stdout.write(json.dumps(result.to_dict()))
 """
+
+_MODES = ("subprocess", "inprocess", "pool")
 
 
 @dataclass
@@ -54,12 +70,41 @@ class RunObservation:
 class SandboxRunner:
     """Runs target workloads against module sources with timeout protection."""
 
-    def __init__(self, config: IntegrationConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: IntegrationConfig | None = None,
+        execution: ExecutionConfig | None = None,
+    ) -> None:
         self._config = config or IntegrationConfig()
+        self._execution = execution or ExecutionConfig()
+        self._pool: WorkerPool | None = None
+        self._scratch: tempfile.TemporaryDirectory | None = None
+        self._task_ids = itertools.count()
+        self._lock = threading.Lock()
 
     @property
     def config(self) -> IntegrationConfig:
         return self._config
+
+    @property
+    def execution(self) -> ExecutionConfig:
+        return self._execution
+
+    def close(self) -> None:
+        """Release the worker pool and the scratch directory (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            scratch, self._scratch = self._scratch, None
+        if pool is not None:
+            pool.shutdown()
+        if scratch is not None:
+            scratch.cleanup()
+
+    def __enter__(self) -> "SandboxRunner":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
 
     def run(
         self,
@@ -75,7 +120,50 @@ class SandboxRunner:
             return self._run_inprocess(target_name, module_source, seed, iterations)
         if mode == "subprocess":
             return self._run_subprocess(target_name, module_source, seed, iterations)
-        raise SandboxError(f"unknown runner mode {mode!r}; use 'subprocess' or 'inprocess'")
+        if mode == "pool":
+            return self._run_pool(target_name, [module_source], seed, iterations)[0]
+        raise SandboxError(f"unknown runner mode {mode!r}; use one of {_MODES}")
+
+    def run_batch(
+        self,
+        target_name: str,
+        module_sources: list[str],
+        seed: int = 0,
+        iterations: int | None = None,
+        mode: str = "subprocess",
+        max_workers: int | None = None,
+    ) -> list[RunObservation]:
+        """Execute many module sources concurrently, preserving input order.
+
+        Every run uses the same ``seed``, matching what a serial loop over
+        :meth:`run` would do, so batched campaigns reproduce serial outcomes.
+        """
+        iterations = iterations or self._config.workload_iterations
+        if not module_sources:
+            return []
+        if mode == "inprocess":
+            # In-interpreter runs are GIL-bound; threads would only add noise.
+            return [
+                self._run_inprocess(target_name, source, seed, iterations)
+                for source in module_sources
+            ]
+        if mode == "subprocess":
+            workers = self._execution.resolved_workers(max_workers)
+            if workers <= 1 or len(module_sources) == 1:
+                return [
+                    self._run_subprocess(target_name, source, seed, iterations)
+                    for source in module_sources
+                ]
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                return list(
+                    executor.map(
+                        lambda source: self._run_subprocess(target_name, source, seed, iterations),
+                        module_sources,
+                    )
+                )
+        if mode == "pool":
+            return self._run_pool(target_name, module_sources, seed, iterations, max_workers)
+        raise SandboxError(f"unknown runner mode {mode!r}; use one of {_MODES}")
 
     # -- modes --------------------------------------------------------------------
 
@@ -89,35 +177,34 @@ class SandboxRunner:
     def _run_subprocess(
         self, target_name: str, module_source: str, seed: int, iterations: int
     ) -> RunObservation:
-        import tempfile
-
-        with tempfile.TemporaryDirectory(prefix="nfi-run-") as temp_dir:
-            module_path = Path(temp_dir) / "module_under_test.py"
-            module_path.write_text(module_source)
-            command = [
-                sys.executable,
-                "-c",
-                _DRIVER,
-                target_name,
-                str(module_path),
-                str(iterations),
-                str(seed),
-            ]
-            try:
-                completed = subprocess.run(
-                    command,
-                    capture_output=self._config.capture_output,
-                    timeout=self._config.test_timeout_seconds,
-                    text=True,
-                    check=False,
-                )
-            except subprocess.TimeoutExpired as exc:
-                return RunObservation(
-                    result=None,
-                    timed_out=True,
-                    stdout=(exc.stdout or "") if isinstance(exc.stdout, str) else "",
-                    stderr=(exc.stderr or "") if isinstance(exc.stderr, str) else "",
-                )
+        module_path = self._scratch_file()
+        module_path.write_text(module_source)
+        command = [
+            sys.executable,
+            "-c",
+            _DRIVER,
+            target_name,
+            str(module_path),
+            str(iterations),
+            str(seed),
+        ]
+        try:
+            completed = subprocess.run(
+                command,
+                capture_output=self._config.capture_output,
+                timeout=self._config.test_timeout_seconds,
+                text=True,
+                check=False,
+            )
+        except subprocess.TimeoutExpired as exc:
+            return RunObservation(
+                result=None,
+                timed_out=True,
+                stdout=(exc.stdout or "") if isinstance(exc.stdout, str) else "",
+                stderr=(exc.stderr or "") if isinstance(exc.stderr, str) else "",
+            )
+        finally:
+            module_path.unlink(missing_ok=True)
         stdout = completed.stdout or ""
         stderr = completed.stderr or ""
         if completed.returncode != 0:
@@ -136,7 +223,67 @@ class SandboxRunner:
                 stdout=stdout,
                 stderr=stderr,
             )
-        result = TargetRunResult(
+        return RunObservation(result=self._result_from_payload(payload), stdout=stdout, stderr=stderr)
+
+    def _run_pool(
+        self,
+        target_name: str,
+        module_sources: list[str],
+        seed: int,
+        iterations: int,
+        max_workers: int | None = None,
+    ) -> list[RunObservation]:
+        pool = self._ensure_pool(max_workers)
+        payloads = pool.run_batch(
+            target_name,
+            module_sources,
+            seed=seed,
+            iterations=iterations,
+            timeout_seconds=self._config.test_timeout_seconds,
+        )
+        return [self._observation_from_pool(payload) for payload in payloads]
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _ensure_pool(self, max_workers: int | None = None) -> WorkerPool:
+        workers = self._execution.resolved_workers(max_workers)
+        with self._lock:
+            if (
+                self._pool is not None
+                and max_workers is not None
+                and self._pool.max_workers != workers
+            ):
+                # An explicit per-call override takes effect even if a pool of a
+                # different size already exists.
+                stale, self._pool = self._pool, None
+            else:
+                stale = None
+            if self._pool is None:
+                self._pool = WorkerPool(
+                    max_workers=workers,
+                    task_timeout_seconds=self._config.test_timeout_seconds,
+                )
+            pool = self._pool
+        if stale is not None:
+            stale.shutdown()
+        return pool
+
+    def _scratch_file(self) -> Path:
+        """A unique module path inside the runner's persistent scratch directory.
+
+        One temporary directory is created per runner and reused across runs
+        (and threads); each task gets a distinct file name so concurrent
+        subprocess runs never collide.
+        """
+        with self._lock:
+            if self._scratch is None:
+                self._scratch = tempfile.TemporaryDirectory(prefix="nfi-run-")
+            task_id = next(self._task_ids)
+        return Path(self._scratch.name) / f"module_under_test_{task_id}.py"
+
+    @staticmethod
+    def _result_from_payload(payload: dict[str, Any]) -> TargetRunResult:
+        return TargetRunResult(
             target=payload["target"],
             completed=payload["completed"],
             duration_seconds=payload["duration_seconds"],
@@ -146,4 +293,14 @@ class SandboxRunner:
             error_message=payload.get("error_message"),
             detected_errors=payload.get("detected_errors", 0),
         )
-        return RunObservation(result=result, stdout=stdout, stderr=stderr)
+
+    def _observation_from_pool(self, payload: dict[str, Any]) -> RunObservation:
+        status = payload.get("status")
+        if status == "ok":
+            return RunObservation(result=self._result_from_payload(payload["result"]))
+        if status == "timeout":
+            return RunObservation(result=None, timed_out=True)
+        return RunObservation(
+            result=None,
+            harness_error=str(payload.get("error") or "worker produced no result"),
+        )

@@ -207,7 +207,7 @@ class CodeGrammar:
         """Signature line, docstring literal, and unparsed body lines of the target."""
         context = prompt.context
         if context is not None:
-            tree = ast_utils.parse_module(context.source)
+            tree = ast_utils.parse_module(context.source, mutable=False)
             node = ast_utils.find_function(tree, bare_name)
         else:
             node = None

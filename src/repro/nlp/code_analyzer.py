@@ -14,27 +14,43 @@ from __future__ import annotations
 import ast
 
 from ..errors import CodeAnalysisError
+from ..execution.cache import get_cache
 from ..injection import ast_utils
 from ..types import CodeContext, FunctionInfo
+
+#: Memoizes (functions, imports) summaries by source hash, so N scenarios
+#: against one target analyse its code once.  ``misses`` counts real analyses.
+ANALYSIS_CACHE = get_cache("code-analysis")
 
 
 class CodeAnalyzer:
     """Builds :class:`CodeContext` objects from raw Python source."""
 
     def analyze(self, source: str, path: str | None = None, module_name: str | None = None) -> CodeContext:
-        """Parse and summarise ``source`` into a :class:`CodeContext`."""
-        tree = ast_utils.parse_module(source, path=path)
-        functions = [
-            self._function_info(node, class_name) for node, class_name in ast_utils.iter_functions(tree)
-        ]
-        imports = self._imports(tree)
+        """Parse and summarise ``source`` into a :class:`CodeContext`.
+
+        The per-function summaries are memoized by source hash; each call
+        still returns a fresh :class:`CodeContext` so mutable selection state
+        (``selected_function``) never bleeds between scenarios.
+        """
+        functions, imports = ANALYSIS_CACHE.get_or_compute(
+            ANALYSIS_CACHE.key_for(source, path),
+            lambda: self._summarise(source, path),
+        )
         return CodeContext(
             source=source,
             path=path,
             module_name=module_name,
-            functions=functions,
-            imports=imports,
+            functions=list(functions),
+            imports=list(imports),
         )
+
+    def _summarise(self, source: str, path: str | None) -> tuple[list[FunctionInfo], list[str]]:
+        tree = ast_utils.parse_module(source, path=path, mutable=False)
+        functions = [
+            self._function_info(node, class_name) for node, class_name in ast_utils.iter_functions(tree)
+        ]
+        return functions, self._imports(tree)
 
     def select_function(self, context: CodeContext, description: str, hint: str | None = None) -> CodeContext:
         """Pick the function the description most plausibly targets.

@@ -128,7 +128,7 @@ class BankTarget(TargetSystem):
 
     _ACCOUNTS = {"alice": 100_000, "bob": 50_000, "carol": 75_000, "dave": 20_000}
 
-    def build_source(self) -> str:
+    def _build_source(self) -> str:
         return _SOURCE
 
     def run_workload(self, module: types.ModuleType, iterations: int, rng: SeededRNG) -> dict[str, Any]:

@@ -66,9 +66,22 @@ class TargetSystem(ABC):
     #: one-line description used in documentation and reports
     description: str = ""
 
-    @abstractmethod
     def build_source(self) -> str:
-        """Return the pristine Python source of the target module."""
+        """Return the pristine Python source of the target module (memoized).
+
+        Source construction is a pure derivation, so it runs once per target
+        instance; campaigns that integrate N faults against one target reuse
+        the same string instead of rebuilding it per fault.
+        """
+        cached = getattr(self, "_cached_source", None)
+        if cached is None:
+            cached = self._build_source()
+            self._cached_source = cached
+        return cached
+
+    @abstractmethod
+    def _build_source(self) -> str:
+        """Construct the pristine Python source of the target module."""
 
     @abstractmethod
     def run_workload(self, module: types.ModuleType, iterations: int, rng: SeededRNG) -> dict[str, Any]:

@@ -182,7 +182,7 @@ class EcommerceTarget(TargetSystem):
         "desk": (120.0, 100),
     }
 
-    def build_source(self) -> str:
+    def _build_source(self) -> str:
         return _SOURCE
 
     def run_workload(self, module: types.ModuleType, iterations: int, rng: SeededRNG) -> dict[str, Any]:

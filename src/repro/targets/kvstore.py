@@ -129,7 +129,7 @@ class KVStoreTarget(TargetSystem):
     name = "kvstore"
     description = "In-memory key-value store with WAL, compaction, and snapshot recovery"
 
-    def build_source(self) -> str:
+    def _build_source(self) -> str:
         return _SOURCE
 
     def run_workload(self, module: types.ModuleType, iterations: int, rng: SeededRNG) -> dict[str, Any]:

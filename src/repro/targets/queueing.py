@@ -125,7 +125,7 @@ class QueueTarget(TargetSystem):
 
     _TOPICS = ("orders", "emails")
 
-    def build_source(self) -> str:
+    def _build_source(self) -> str:
         return _SOURCE
 
     def run_workload(self, module: types.ModuleType, iterations: int, rng: SeededRNG) -> dict[str, Any]:

@@ -1,0 +1,297 @@
+"""Tests for the campaign execution engine: worker pools, batching, caching.
+
+Pool tests use one or two workers and short timeouts so the whole module stays
+inside the fast tier-1 budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExecutionConfig, IntegrationConfig, PipelineConfig
+from repro.errors import ConfigurationError
+from repro.execution import WorkerPool, resolve_workers, worker_cap
+from repro.execution.cache import HashKeyedCache, cache_stats
+from repro.injection import FaultLoad, ProgrammableInjector, ast_utils
+from repro.injection.ast_utils import PARSE_CACHE
+from repro.integration import ExperimentRunner, SandboxRunner
+from repro.nlp.code_analyzer import ANALYSIS_CACHE
+from repro.targets import get_target
+
+#: Sleeps far longer than any configured timeout once the workload starts.
+HANG_ON_LOAD = "import time\ntime.sleep(60)\n"
+#: Kills the hosting process outright while the module loads.
+EXIT_ON_LOAD = "import os\nos._exit(7)\n"
+#: Exits cleanly before the driver can emit its JSON payload.
+SILENT_EXIT_ON_LOAD = "import os\nos._exit(0)\n"
+
+
+@pytest.fixture()
+def bank_source() -> str:
+    return get_target("bank").build_source()
+
+
+@pytest.fixture()
+def runner() -> SandboxRunner:
+    sandbox = SandboxRunner(
+        IntegrationConfig(test_timeout_seconds=2.0),
+        execution=ExecutionConfig(max_workers=2),
+    )
+    yield sandbox
+    sandbox.close()
+
+
+class TestExecutionConfig:
+    def test_defaults_round_trip_through_pipeline_config(self):
+        config = PipelineConfig()
+        assert config.execution.default_mode == "inprocess"
+        rebuilt = PipelineConfig.from_dict(config.to_dict())
+        assert rebuilt.execution.to_dict() == config.execution.to_dict()
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(max_workers=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(default_mode="teleport")
+
+    def test_worker_counts_are_capped_by_cpu_count(self):
+        assert worker_cap() >= 1
+        assert resolve_workers(10_000) == worker_cap()
+        assert resolve_workers(1) == 1
+        assert ExecutionConfig(max_workers=10_000).resolved_workers() == worker_cap()
+
+
+@pytest.mark.pool
+class TestWorkerPool:
+    def test_batch_preserves_submission_order(self, bank_source):
+        kv_source = get_target("kvstore").build_source()
+        with WorkerPool(max_workers=2, task_timeout_seconds=5.0) as pool:
+            payloads = pool.run_batch("bank", [bank_source] * 4, seed=3, iterations=10)
+            assert [p["status"] for p in payloads] == ["ok"] * 4
+            assert all(p["result"]["target"] == "bank" for p in payloads)
+            kv = pool.run_batch("kvstore", [kv_source], seed=3, iterations=10)
+            assert kv[0]["result"]["target"] == "kvstore"
+            assert pool.tasks_executed == 5
+
+    def test_results_are_seed_stable_across_batches(self, bank_source):
+        with WorkerPool(max_workers=2, task_timeout_seconds=5.0) as pool:
+            first = pool.run_batch("bank", [bank_source] * 3, seed=11, iterations=10)
+            second = pool.run_batch("bank", [bank_source] * 3, seed=11, iterations=10)
+        stable = lambda payload: {k: v for k, v in payload["result"].items() if k != "duration_seconds"}
+        assert [stable(p) for p in first] == [stable(p) for p in second]
+
+    def test_hung_task_times_out_without_poisoning_the_batch(self, bank_source):
+        with WorkerPool(max_workers=2, task_timeout_seconds=1.0) as pool:
+            payloads = pool.run_batch(
+                "bank", [bank_source, bank_source + HANG_ON_LOAD, bank_source], iterations=10
+            )
+        assert [p["status"] for p in payloads] == ["ok", "timeout", "ok"]
+
+    def test_worker_death_is_isolated_and_pool_recovers(self, bank_source):
+        with WorkerPool(max_workers=1, task_timeout_seconds=5.0) as pool:
+            payloads = pool.run_batch(
+                "bank", [bank_source, bank_source + EXIT_ON_LOAD, bank_source], iterations=10
+            )
+            assert payloads[1]["status"] == "error"
+            assert payloads[0]["status"] == "ok"
+            assert payloads[2]["status"] == "ok"
+            # the pool must still serve work after rebuilding
+            again = pool.run_batch("bank", [bank_source], iterations=10)
+            assert again[0]["status"] == "ok"
+
+
+@pytest.mark.pool
+class TestSandboxRunnerBatches:
+    def test_pool_mode_matches_inprocess_results(self, runner, bank_source):
+        inproc = runner.run_batch("bank", [bank_source] * 3, seed=5, mode="inprocess")
+        pooled = runner.run_batch("bank", [bank_source] * 3, seed=5, mode="pool")
+        for a, b in zip(inproc, pooled):
+            assert a.completed and b.completed
+            assert a.result.metrics == b.result.metrics
+            assert a.result.detected_errors == b.result.detected_errors
+
+    def test_single_run_supports_pool_mode(self, runner, bank_source):
+        observation = runner.run("bank", bank_source, mode="pool")
+        assert observation.completed
+
+    def test_unknown_mode_rejected_for_batches(self, runner, bank_source):
+        from repro.errors import SandboxError
+
+        with pytest.raises(SandboxError):
+            runner.run_batch("bank", [bank_source], mode="teleport")
+
+    def test_empty_batch_is_a_no_op(self, runner):
+        assert runner.run_batch("bank", [], mode="pool") == []
+
+
+class TestSandboxRunnerObservationBranches:
+    def test_subprocess_timeout_sets_timed_out(self, runner, bank_source):
+        observation = runner.run("bank", bank_source + HANG_ON_LOAD, mode="subprocess")
+        assert observation.timed_out
+        assert observation.result is None
+        assert not observation.completed
+
+    def test_subprocess_nonzero_exit_reports_harness_error(self, runner, bank_source):
+        observation = runner.run("bank", bank_source + EXIT_ON_LOAD, mode="subprocess")
+        assert observation.result is None
+        assert not observation.timed_out
+        assert "exited with status 7" in observation.harness_error
+
+    def test_subprocess_unparseable_stdout_reports_harness_error(self, runner, bank_source):
+        observation = runner.run("bank", bank_source + SILENT_EXIT_ON_LOAD, mode="subprocess")
+        assert observation.result is None
+        assert "could not parse workload output" in observation.harness_error
+
+    @pytest.mark.pool
+    def test_pool_timeout_sets_timed_out(self, runner, bank_source):
+        observation = runner.run("bank", bank_source + HANG_ON_LOAD, mode="pool")
+        assert observation.timed_out
+        assert observation.result is None
+
+    def test_scratch_directory_is_reused_and_left_clean(self, runner, bank_source):
+        from pathlib import Path
+
+        first = runner._scratch_file()
+        second = runner._scratch_file()
+        assert first.parent == second.parent
+        assert first.name != second.name
+        for _ in range(3):
+            assert runner.run("bank", bank_source, mode="subprocess").completed
+        scratch = Path(runner._scratch.name)
+        assert list(scratch.glob("module_under_test_*.py")) == []
+
+
+@pytest.mark.pool
+class TestExperimentRunnerRunMany:
+    @pytest.fixture()
+    def faults(self, bank_source):
+        load = (
+            FaultLoad(name="mini")
+            .add("negate_condition", "*", max_points=2)
+            .add("wrong_return_value", "*", max_points=2)
+        )
+        return ProgrammableInjector().inject(bank_source, load)
+
+    @staticmethod
+    def _keys(batch):
+        return [
+            (o.fault_id, o.activated, o.failure_mode.value, o.tests_failed, o.details["reason"])
+            for o in batch.outcomes
+        ]
+
+    def test_run_many_matches_serial_execution(self, faults):
+        config = IntegrationConfig(test_timeout_seconds=5.0)
+        serial = ExperimentRunner("bank", config=config)
+        expected = [serial.run_applied(fault, mode="inprocess").outcome for fault in faults]
+        expected_keys = [
+            (o.fault_id, o.activated, o.failure_mode.value, o.tests_failed, o.details["reason"])
+            for o in expected
+        ]
+        batched = ExperimentRunner(
+            "bank", config=config, execution=ExecutionConfig(max_workers=2)
+        )
+        batch = batched.run_many(faults, mode="pool")
+        assert self._keys(batch) == expected_keys
+
+    def test_run_many_records_integration_failures_in_order(self, faults, bank_source):
+        from dataclasses import replace
+
+        broken = replace(faults[1], patch=replace(faults[1].patch, original="def other():\n    pass\n"))
+        mixed = [faults[0], broken, faults[2]]
+        runner = ExperimentRunner("bank", execution=ExecutionConfig(max_workers=2))
+        batch = runner.run_many(mixed, mode="inprocess")
+        assert len(batch) == 3
+        assert batch.records[1].outcome.details.get("integration_failed")
+        assert batch.records[0].outcome.fault_id == faults[0].operator + "@" + faults[0].point.qualified_function + ":" + str(faults[0].point.lineno)
+
+
+class TestAnalysisCaches:
+    def test_parse_cache_shares_trees_for_readonly_callers(self):
+        source = "def cached_probe_fn(x):\n    return x + 1\n"
+        PARSE_CACHE.clear()
+        first = ast_utils.parse_module(source, mutable=False)
+        second = ast_utils.parse_module(source, mutable=False)
+        assert first is second
+        assert PARSE_CACHE.stats.misses == 1
+        assert PARSE_CACHE.stats.hits == 1
+
+    def test_mutable_parses_never_alias_the_cache(self):
+        source = "def mutable_probe_fn(x):\n    return x * 2\n"
+        shared = ast_utils.parse_module(source, mutable=False)
+        private = ast_utils.parse_module(source)
+        assert private is not shared
+        private.body.clear()
+        assert ast_utils.parse_module(source, mutable=False).body  # cache unharmed
+
+    def test_define_fault_parses_each_source_once(self):
+        from repro import NeuralFaultInjector
+
+        pipeline = NeuralFaultInjector()
+        source = (
+            "def process_payment(amount):\n"
+            "    if amount <= 0:\n"
+            "        raise ValueError('bad amount')\n"
+            "    return {'charged': amount}\n"
+        )
+        PARSE_CACHE.clear()
+        ANALYSIS_CACHE.clear()
+        for _ in range(5):
+            spec, context = pipeline.define_fault(
+                "Simulate a timeout in process_payment causing an exception", code=source
+            )
+            assert context is not None
+            assert context.selected_function == "process_payment"
+        assert ANALYSIS_CACHE.stats.misses == 1
+        assert ANALYSIS_CACHE.stats.hits == 4
+        assert PARSE_CACHE.stats.misses == 1  # the one real parse behind the analysis
+
+    def test_analysis_cache_returns_fresh_contexts(self, analyzer):
+        source = "def fresh_ctx_probe():\n    return 1\n"
+        first = analyzer.analyze(source)
+        first.selected_function = "fresh_ctx_probe"
+        second = analyzer.analyze(source)
+        assert second.selected_function is None
+        assert second is not first
+
+    def test_build_source_is_memoized_per_target(self):
+        target = get_target("bank")
+        assert target.build_source() is target.build_source()
+
+    def test_cache_stats_are_exposed(self):
+        stats = cache_stats()
+        assert "ast-parse" in stats
+        assert "code-analysis" in stats
+        assert set(stats["ast-parse"]) == {"hits", "misses", "evictions", "hit_rate"}
+
+    def test_hash_keyed_cache_evicts_least_recently_used(self):
+        cache = HashKeyedCache("test-lru", max_entries=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("c", lambda: 3)  # evicts b
+        assert cache.stats.evictions == 1
+        cache.get_or_compute("b", lambda: 2)
+        assert cache.stats.misses == 4
+
+
+class TestCampaignSharedSpecs:
+    def test_compare_defines_each_scenario_once(self, prepared_pipeline, monkeypatch):
+        from repro.core import CampaignOrchestrator
+
+        calls = []
+        original = prepared_pipeline.define_fault
+
+        def counting_define(text, code=None, path=None):
+            calls.append(text)
+            return original(text, code=code, path=path)
+
+        monkeypatch.setattr(prepared_pipeline, "define_fault", counting_define)
+        orchestrator = CampaignOrchestrator(prepared_pipeline, target="bank", mode="inprocess")
+        scenarios = [
+            "Simulate a timeout in the transfer function causing an unhandled exception",
+            "Silently corrupt the amount returned by the transfer function",
+        ]
+        orchestrator.compare(scenarios, budget=2)
+        assert len(calls) == len(scenarios)
