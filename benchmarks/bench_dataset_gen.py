@@ -1,0 +1,83 @@
+"""BENCH_DATASET_GEN — records/sec: serial vs pooled validated dataset generation.
+
+Extends the BENCH_* trajectory beyond campaign throughput
+(``bench_throughput.py``) to the second heavy workload: fault-dataset
+generation with candidate validation enabled.  Every applied fault candidate
+is executed against its target inside the sandbox; the serial seed-style path
+pays an interpreter start plus a full ``repro`` import per candidate
+(``subprocess`` mode, one worker), while the pooled path executes each
+target's whole candidate batch on persistent workers.
+
+The records emitted by both paths must be byte-identical for the same seed —
+candidate construction and record synthesis draw from keyed RNG forks, and
+validation only filters on load success, which is deterministic across
+execution modes.  The pooled path must beat the serial path by >= 2x.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import DatasetConfig, ExecutionConfig
+from repro.dataset import DatasetGenerator
+
+from conftest import write_result
+
+SAMPLES_PER_TARGET = 8
+
+CONFIGS = {
+    "serial-subprocess": ExecutionConfig(default_mode="subprocess", max_workers=1),
+    "pool": ExecutionConfig(default_mode="pool", max_workers=4),
+}
+
+
+def _generate(execution: ExecutionConfig):
+    config = DatasetConfig(
+        samples_per_target=SAMPLES_PER_TARGET,
+        validate_candidates=True,
+        validation_timeout_seconds=5.0,
+    )
+    with DatasetGenerator(config, execution=execution) as generator:
+        started = time.perf_counter()
+        dataset = generator.generate()
+        elapsed = time.perf_counter() - started
+        stats = generator.stats.to_dict()
+    return dataset, elapsed, stats
+
+
+def test_pooled_dataset_generation_throughput():
+    timings: dict[str, float] = {}
+    records: dict[str, list[dict]] = {}
+    stats: dict[str, dict] = {}
+    for label, execution in CONFIGS.items():
+        dataset, elapsed, generation_stats = _generate(execution)
+        timings[label] = elapsed
+        records[label] = [record.to_dict() for record in dataset]
+        stats[label] = generation_stats
+
+    # Byte-identical records for the same seed, whatever executed the batch.
+    assert records["pool"] == records["serial-subprocess"]
+
+    serial = timings["serial-subprocess"]
+    count = len(records["serial-subprocess"])
+    rows = ["config                 seconds   records/sec   speedup-vs-serial"]
+    payload = {
+        "samples_per_target": SAMPLES_PER_TARGET,
+        "records": count,
+        "batches": stats["pool"]["batches"],
+        "configs": {},
+    }
+    for label, elapsed in timings.items():
+        speedup = serial / elapsed if elapsed else float("inf")
+        payload["configs"][label] = {
+            "seconds": round(elapsed, 3),
+            "records_per_second": round(count / elapsed, 2) if elapsed else None,
+            "speedup_vs_serial_subprocess": round(speedup, 2),
+        }
+        rows.append(
+            f"{label:<22} {elapsed:>7.2f}   {count / elapsed:>11.2f}   {speedup:>17.2f}"
+        )
+    write_result("dataset_gen", payload, table="\n".join(rows))
+
+    # The acceptance bar: pooled validated generation beats the serial path >= 2x.
+    assert serial / timings["pool"] >= 2.0, payload

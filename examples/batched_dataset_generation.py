@@ -1,0 +1,81 @@
+"""Pooled, memory-bounded batch execution end to end.
+
+Demonstrates the two batch workloads that run through the shared execution
+engine (``repro.execution``):
+
+1. **Validated dataset generation** — every applied fault candidate is
+   executed against its target as one pooled sandbox batch, so the dataset is
+   backed by evidence that each faulty module actually loads, at a fraction
+   of the serial subprocess cost (see ``benchmarks/bench_dataset_gen.py``).
+2. **RLHF batch scoring** — each round of generation candidates is integrated
+   and executed as a single batch, and the execution evidence (integration
+   failures, faults that never activate) flows into the simulated testers'
+   ratings.
+
+See ``docs/EXECUTION.md`` for how to pick a mode and size the batches.
+
+Run with::
+
+    python examples/batched_dataset_generation.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DatasetConfig,
+    IntegrationConfig,
+    NeuralFaultInjector,
+    PipelineConfig,
+    RLHFConfig,
+    SFTConfig,
+)
+from repro.config import ExecutionConfig
+from repro.targets import get_target
+
+
+def main() -> None:
+    config = PipelineConfig(
+        dataset=DatasetConfig(
+            samples_per_target=10,
+            validate_candidates=True,      # execute every candidate in the sandbox
+        ),
+        sft=SFTConfig(epochs=3),
+        rlhf=RLHFConfig(iterations=2, candidates_per_iteration=3),
+        integration=IntegrationConfig(workload_iterations=15, test_timeout_seconds=5),
+        # One persistent worker pool serves dataset validation, RLHF scoring,
+        # and campaign execution; batch_size bounds in-flight task payloads.
+        execution=ExecutionConfig(default_mode="pool", max_workers=4, batch_size=16),
+    )
+    # The context manager releases the worker pools and scratch dirs on exit.
+    with NeuralFaultInjector(config) as pipeline:
+        # -- 1. pooled dataset generation (+ supervised fine-tuning) --------------
+        dataset = pipeline.prepare()
+        stats = pipeline.dataset_generator.stats
+        print(f"Generated {len(dataset)} validated fault records "
+              f"across {len(dataset.targets())} targets.")
+        for batch in stats.batches:
+            print(f"  [{batch['target']:10s}] {batch['candidates']} candidates -> "
+                  f"{batch['kept']} kept, {batch['discarded']} discarded ({batch['mode']})")
+
+        # -- 2. RLHF with pooled batch scoring ------------------------------------
+        target = get_target("bank")
+        scenarios = [
+            "Simulate a timeout in the transfer function causing an unhandled exception",
+            "Silently corrupt the amount returned by the transfer function",
+        ]
+        prompts = []
+        for scenario in scenarios:
+            spec, context = pipeline.define_fault(scenario, code=target.build_source())
+            prompts.append(pipeline.build_prompt(spec, context))
+
+        report = pipeline.run_rlhf(prompts, target="bank")
+        print("\nRLHF with execution-backed batch scoring on the bank target:")
+        for stats_row in report.iterations:
+            print(f"  iteration {stats_row.iteration}: mean rating {stats_row.mean_rating:.2f}, "
+                  f"alignment {stats_row.alignment:.3f}, "
+                  f"accepted {stats_row.accepted_fraction:.0%}")
+        print(f"Alignment {report.initial_alignment:.3f} -> {report.final_alignment:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -152,18 +152,38 @@ class ExecutionConfig:
 
 @dataclass
 class DatasetConfig:
-    """Dataset generation parameters (Section IV-1)."""
+    """Dataset generation parameters (Section IV-1).
+
+    When ``validate_candidates`` is set, every applied fault candidate is
+    executed against its target through the shared sandbox runner (one pooled
+    batch per target, scheduled per :class:`ExecutionConfig`) and candidates
+    whose mutated module cannot even be loaded are dropped from the dataset.
+    The keep/discard decision only depends on module load success, so one
+    workload iteration (the default) is enough; raise
+    ``validation_iterations`` only to make the validation run double as a
+    deeper workload smoke test.  Validation always runs in a
+    timeout-protected sandbox: an ``inprocess`` execution config is promoted
+    to ``subprocess``, because arbitrary mutants can hang and in-process
+    execution has no timeout.
+    """
 
     samples_per_target: int = 50
     seed: int = 17
     max_faults_per_function: int = 3
     include_descriptions: bool = True
+    validate_candidates: bool = False
+    validation_iterations: int = 1
+    validation_timeout_seconds: float = 5.0
 
     def __post_init__(self) -> None:
         if self.samples_per_target <= 0:
             raise ConfigurationError("samples_per_target must be positive")
         if self.max_faults_per_function <= 0:
             raise ConfigurationError("max_faults_per_function must be positive")
+        if self.validation_iterations <= 0:
+            raise ConfigurationError("validation_iterations must be positive")
+        if self.validation_timeout_seconds <= 0:
+            raise ConfigurationError("validation_timeout_seconds must be positive")
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)

@@ -43,12 +43,33 @@ class NeuralFaultInjector:
         self.prompts = PromptBuilder()
         self.generator = FaultGenerator(self.config.model, rng=self._rng.fork("generator"))
         self.feedback_parser = FeedbackParser()
-        self.dataset_generator = DatasetGenerator(self.config.dataset)
+        self.dataset_generator = DatasetGenerator(
+            self.config.dataset, execution=self.config.execution
+        )
         self.sft_trainer = SFTTrainer(self.generator, self.config.sft)
         self.dataset: FaultDataset | None = None
         self.sft_report: SFTReport | None = None
         self.rlhf_report: RLHFReport | None = None
         self._experiment_runners: dict[str, ExperimentRunner] = {}
+
+    def close(self) -> None:
+        """Release sandbox resources: worker pools, scratch dirs (idempotent).
+
+        Covers the dataset generator's validation runner and every cached
+        per-target experiment runner.  Long-lived processes that build many
+        injectors should close each one (or use it as a context manager);
+        one-shot scripts can rely on process exit.
+        """
+        self.dataset_generator.close()
+        runners, self._experiment_runners = self._experiment_runners, {}
+        for runner in runners.values():
+            runner.close()
+
+    def __enter__(self) -> "NeuralFaultInjector":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
 
     # -- preparation (dataset generation + fine-tuning) ----------------------------
 
@@ -65,12 +86,43 @@ class NeuralFaultInjector:
             self.sft_report = self.sft_trainer.train(examples)
         return self.dataset
 
-    def run_rlhf(self, prompts: list[GenerationPrompt], testers: list[SimulatedTester] | None = None) -> RLHFReport:
-        """Run the RLHF loop over a set of prompts with (simulated) testers."""
+    def run_rlhf(
+        self,
+        prompts: list[GenerationPrompt],
+        testers: list[SimulatedTester] | None = None,
+        target: TargetSystem | str | None = None,
+        mode: str | None = None,
+    ) -> RLHFReport:
+        """Run the RLHF loop over a set of prompts with (simulated) testers.
+
+        Args:
+            prompts: Generation prompts to refine the policy on.
+            testers: Simulated testers; defaults to the standard pool.
+            target: When given, every round of candidates is integrated and
+                executed against this target as one sandbox batch (scheduled
+                per ``config.execution``) and the execution evidence flows
+                into the testers' ratings.
+            mode: Execution mode for those batches; defaults to
+                ``config.execution.default_mode``, except that an
+                ``inprocess`` default is promoted to ``subprocess`` — the
+                candidates are untrusted generated faults (a delay fault can
+                sleep for minutes) and in-process execution has no timeout.
+                Pass ``mode="inprocess"`` explicitly to accept that risk.
+
+        Returns:
+            The :class:`RLHFReport` history (also stored on ``rlhf_report``).
+        """
+        runner = self._runner_for(target) if target is not None else None
+        if mode is None:
+            mode = self.config.execution.default_mode
+            if mode == "inprocess":
+                mode = "subprocess"
         trainer = RLHFTrainer(
             self.generator,
             testers or tester_pool(seed=self.config.rlhf.seed),
             config=self.config.rlhf,
+            runner=runner,
+            execution_mode=mode,
         )
         self.rlhf_report = trainer.run(prompts)
         return self.rlhf_report

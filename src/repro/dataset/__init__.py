@@ -4,8 +4,9 @@ Components:
 
 * :class:`FaultRecord` / :class:`FaultDataset` — documented fault triples;
 * :class:`DescriptionSynthesizer` — tester-style NL descriptions of faults;
-* :class:`DatasetGenerator` — sweeps the SFI tool over the targets and adapts
-  records into SFT examples;
+* :class:`DatasetGenerator` — sweeps the SFI tool over the targets (building
+  each target's fault candidates up front and optionally validating them as
+  one pooled sandbox batch) and adapts records into SFT examples;
 * :func:`split_dataset` — deterministic train/validation/test splits;
 * :func:`save_jsonl` / :func:`load_jsonl` — persistence.
 """

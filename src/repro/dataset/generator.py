@@ -7,6 +7,16 @@ code, faulty code, decisions), and converts records into the
 fine-tuning consumes.  "The ability of the SFI tool to generate this data
 on-demand eliminates the traditional bottleneck of data scarcity" — this module
 is that on-demand path.
+
+Generation is batch-structured: all :class:`AppliedFault` candidates for a
+target are built up front (pure AST work), then — when
+``DatasetConfig.validate_candidates`` is set — executed against the target as
+one pooled sandbox batch through the shared
+:class:`~repro.integration.runner.SandboxRunner`, so mega-datasets pay the
+interpreter/import cost once per worker instead of once per fault.  Candidate
+construction and record synthesis draw from keyed RNG forks, so the pooled and
+serial execution paths emit byte-identical records for the same seed (the
+``bench_dataset_gen`` benchmark asserts exactly this).
 """
 
 from __future__ import annotations
@@ -14,7 +24,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-from ..config import DatasetConfig
+from ..config import DatasetConfig, ExecutionConfig, IntegrationConfig
 from ..errors import DatasetError
 from ..injection import ProgrammableInjector, ast_utils
 from ..injection.operators import AppliedFault
@@ -30,31 +40,61 @@ from .records import FaultDataset, FaultRecord
 
 @dataclass
 class GenerationStats:
-    """Bookkeeping of one dataset-generation sweep."""
+    """Bookkeeping of one dataset-generation sweep.
+
+    ``batches`` records one entry per validated target batch (candidate count,
+    kept/discarded split, execution mode), so large sweeps can be audited
+    batch by batch after the fact.
+    """
 
     scanned_points: int = 0
     applied: int = 0
     skipped: int = 0
+    validated: int = 0
+    discarded: int = 0
     per_target: dict[str, int] = dataclasses.field(default_factory=dict)
+    batches: list[dict] = dataclasses.field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
             "scanned_points": self.scanned_points,
             "applied": self.applied,
             "skipped": self.skipped,
+            "validated": self.validated,
+            "discarded": self.discarded,
             "per_target": dict(self.per_target),
+            "batches": [dict(batch) for batch in self.batches],
         }
 
 
 class DatasetGenerator:
-    """Builds fine-tuning datasets by injecting faults into the target systems."""
+    """Builds fine-tuning datasets by injecting faults into the target systems.
+
+    The generator owns (or borrows) a :class:`SandboxRunner` for candidate
+    validation; close it with :meth:`close` or use the generator as a context
+    manager when ``validate_candidates`` is enabled with ``pool`` execution.
+    """
 
     def __init__(
         self,
         config: DatasetConfig | None = None,
         injector: ProgrammableInjector | None = None,
         synthesizer: DescriptionSynthesizer | None = None,
+        execution: ExecutionConfig | None = None,
+        runner=None,
     ) -> None:
+        """Initialise the generator.
+
+        Args:
+            config: Dataset parameters; defaults to :class:`DatasetConfig`.
+            injector: Programmable injector override (tests use this).
+            synthesizer: Description synthesizer override.
+            execution: How validation batches are scheduled across workers;
+                defaults to :class:`ExecutionConfig` (``inprocess`` mode).
+            runner: A shared :class:`~repro.integration.runner.SandboxRunner`
+                to validate candidates with; one is created lazily when
+                validation is enabled and no runner is supplied.
+        """
         self._config = config or DatasetConfig()
         self._rng = SeededRNG(self._config.seed, namespace="dataset")
         self._injector = injector or ProgrammableInjector(rng=self._rng.fork("injector"))
@@ -62,12 +102,51 @@ class DatasetGenerator:
         self._extractor = FaultSpecExtractor()
         self._analyzer = CodeAnalyzer()
         self._prompts = PromptBuilder()
+        self._execution = execution or ExecutionConfig()
+        self._runner = runner
+        self._owns_runner = False
         self.stats = GenerationStats()
+
+    def close(self) -> None:
+        """Release the validation runner if this generator created it (idempotent)."""
+        runner, self._runner = self._runner, None
+        if runner is not None and self._owns_runner:
+            runner.close()
+        self._owns_runner = False
+
+    def __enter__(self) -> "DatasetGenerator":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
 
     # -- record generation ---------------------------------------------------------
 
     def generate(self, targets: list[TargetSystem] | None = None) -> FaultDataset:
-        """Generate a dataset across ``targets`` (defaults to every built-in target)."""
+        """Generate a dataset across ``targets``.
+
+        Args:
+            targets: Target systems to sweep; defaults to every built-in
+                target.  When ``validate_candidates`` is enabled, targets
+                must be resolvable by name through the target registry
+                (built-ins are; register custom targets in
+                ``repro.targets.registry.TARGET_REGISTRY``), because sandbox
+                workers look targets up by name.  Runtime-registered targets
+                work with ``pool`` execution (workers are forked and inherit
+                the registry) but not ``subprocess`` (fresh interpreters
+                re-import ``repro``).
+
+        Returns:
+            A :class:`FaultDataset` of documented fault records, at most
+            ``samples_per_target`` per target (fewer when validation drops
+            unloadable candidates).
+
+        Raises:
+            DatasetError: If ``targets`` is an empty list, or if validation
+                fails for *every* candidate of a target (a broken sandbox —
+                typically an unresolvable target name — rather than faults
+                doing their job).
+        """
         targets = targets if targets is not None else all_targets()
         if not targets:
             raise DatasetError("at least one target system is required")
@@ -78,14 +157,30 @@ class DatasetGenerator:
         return dataset
 
     def _generate_for_target(self, target: TargetSystem, dataset: FaultDataset) -> int:
+        """Build, validate, and record one target's batch of fault candidates."""
         source = target.build_source()
+        candidates = self._candidates_for_target(source)
+        if self._config.validate_candidates:
+            candidates = self._validate_batch(target, candidates)
+        for applied in candidates:
+            record = self._record(target, source, applied, index=len(dataset))
+            dataset.add(record)
+            self.stats.applied += 1
+        return len(candidates)
+
+    def _candidates_for_target(self, source: str) -> list[AppliedFault]:
+        """Apply operators over the scanned injection points, up front.
+
+        Candidate construction is pure AST work and draws only from keyed RNG
+        forks, so building the whole batch before any execution happens
+        produces exactly the faults the old apply-one/record-one loop did.
+        """
         report = self._injector.locator.scan(source)
         self.stats.scanned_points += len(report)
         per_function_counts: dict[str, int] = {}
-        added = 0
-        points = self._rng.shuffle(report.points)
-        for point in points:
-            if added >= self._config.samples_per_target:
+        candidates: list[AppliedFault] = []
+        for point in self._rng.shuffle(report.points):
+            if len(candidates) >= self._config.samples_per_target:
                 break
             function_key = point.qualified_function
             if per_function_counts.get(function_key, 0) >= self._config.max_faults_per_function:
@@ -95,12 +190,98 @@ class DatasetGenerator:
             except Exception:
                 self.stats.skipped += 1
                 continue
-            record = self._record(target, source, applied, index=len(dataset))
-            dataset.add(record)
+            candidates.append(applied)
             per_function_counts[function_key] = per_function_counts.get(function_key, 0) + 1
-            added += 1
-            self.stats.applied += 1
-        return added
+        return candidates
+
+    def _validation_mode(self) -> str:
+        """The sandbox mode validation batches actually run in.
+
+        Validation executes *untrusted* mutants: any operator that touches
+        loop control (not just the ones named ``infinite_loop``) can produce
+        an unbounded loop, and in-process execution has no timeout.  An
+        ``inprocess`` execution config is therefore promoted to
+        ``subprocess``; ``pool`` and ``subprocess`` already enforce
+        ``validation_timeout_seconds`` per candidate.
+        """
+        mode = self._execution.default_mode
+        return "subprocess" if mode == "inprocess" else mode
+
+    def _validate_batch(self, target: TargetSystem, candidates: list[AppliedFault]) -> list[AppliedFault]:
+        """Execute one target's candidates as a single sandbox batch.
+
+        A candidate is kept unless its mutated module failed to load (or the
+        harness itself failed), which is deterministic across execution modes;
+        workload crashes and timeouts are *faults doing their job* and stay in
+        the dataset.
+        """
+        if not candidates:
+            return []
+        mode = self._validation_mode()
+        observations = self._ensure_runner().run_batch(
+            target.name,
+            [candidate.patch.mutated for candidate in candidates],
+            seed=self._config.seed,
+            iterations=self._config.validation_iterations,
+            mode=mode,
+        )
+        if len(observations) > 1 and all(
+            observation.harness_error is not None for observation in observations
+        ):
+            # Individual harness errors are fault-induced and just discard the
+            # candidate, but a whole (multi-candidate) batch failing means the
+            # sandbox itself is broken — most commonly a runtime-registered
+            # target that a fresh subprocess interpreter cannot resolve (pool
+            # workers are forked and inherit the registry; subprocesses
+            # re-import repro).
+            raise DatasetError(
+                f"validation of target {target.name!r} failed for every candidate "
+                f"(first error: {observations[0].harness_error}); if this is a "
+                "runtime-registered target, validate with pool mode or register "
+                "it at import time"
+            )
+        kept = [
+            candidate
+            for candidate, observation in zip(candidates, observations)
+            if self._is_loadable(observation)
+        ]
+        self.stats.validated += len(kept)
+        self.stats.discarded += len(candidates) - len(kept)
+        self.stats.batches.append(
+            {
+                "target": target.name,
+                "candidates": len(candidates),
+                "kept": len(kept),
+                "discarded": len(candidates) - len(kept),
+                "mode": mode,
+            }
+        )
+        return kept
+
+    @staticmethod
+    def _is_loadable(observation) -> bool:
+        """Whether the mutated module at least loaded inside the sandbox."""
+        if observation.harness_error is not None:
+            return False
+        result = observation.result
+        if result is not None and result.error_type == "LoadError":
+            return False
+        return True
+
+    def _ensure_runner(self):
+        """The shared sandbox runner, created lazily for validation."""
+        if self._runner is None:
+            from ..integration.runner import SandboxRunner
+
+            self._runner = SandboxRunner(
+                IntegrationConfig(
+                    test_timeout_seconds=self._config.validation_timeout_seconds,
+                    workload_iterations=self._config.validation_iterations,
+                ),
+                execution=self._execution,
+            )
+            self._owns_runner = True
+        return self._runner
 
     def _apply(self, source: str, point) -> AppliedFault:
         from ..injection.operators import get_operator

@@ -42,6 +42,7 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly snapshot of the counters (used by benchmark reports)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -58,6 +59,16 @@ class HashKeyedCache:
     """
 
     def __init__(self, name: str, max_entries: int = 256) -> None:
+        """Create the cache and register it under ``name`` for stats reporting.
+
+        Args:
+            name: Process-wide registry key (see :func:`cache_stats`).
+            max_entries: LRU bound; the least recently used entry is evicted
+                once the cache grows past it.
+
+        Raises:
+            ValueError: If ``max_entries`` is not positive.
+        """
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self.name = name
@@ -70,7 +81,15 @@ class HashKeyedCache:
 
     @staticmethod
     def key_for(*parts: str | None) -> str:
-        """Stable digest of the input material identifying one cache entry."""
+        """Stable digest of the input material identifying one cache entry.
+
+        Args:
+            *parts: Ordered strings (or ``None``) that together determine the
+                cached derivation — typically a source text plus option flags.
+
+        Returns:
+            A hex SHA-256 digest; unambiguous because parts are length-framed.
+        """
         digest = hashlib.sha256()
         for part in parts:
             digest.update(b"\x00" if part is None else part.encode("utf-8", "replace"))
@@ -83,6 +102,14 @@ class HashKeyedCache:
         ``compute`` runs outside the lock so a slow parse never blocks
         unrelated lookups; concurrent misses on the same key may compute
         twice, which is wasteful but correct for pure derivations.
+
+        Args:
+            key: Entry key, usually built with :meth:`key_for`.
+            compute: Zero-argument callable producing the value on a miss.
+
+        Returns:
+            The cached (shared!) value; callers that mutate what they receive
+            must opt out of caching instead.
         """
         with self._lock:
             if key in self._entries:
@@ -111,7 +138,15 @@ class HashKeyedCache:
 
 
 def get_cache(name: str, max_entries: int = 256) -> HashKeyedCache:
-    """Return the process-wide cache registered under ``name``, creating it if needed."""
+    """Return the process-wide cache registered under ``name``, creating it if needed.
+
+    Args:
+        name: Registry key shared by all consumers of the cache.
+        max_entries: LRU bound applied only when the cache is first created.
+
+    Returns:
+        The shared :class:`HashKeyedCache` instance for ``name``.
+    """
     with _REGISTRY_LOCK:
         existing = _REGISTRY.get(name)
     if existing is not None:

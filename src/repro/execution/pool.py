@@ -43,12 +43,23 @@ def worker_cap() -> int:
     four workers: injected faults are frequently sleep-bound (delays, timeouts
     held under locks), and sleeping workers overlap perfectly even on a single
     core.
+
+    Returns:
+        ``max(4, cpu_count * 2)``.
     """
     return max(4, (os.cpu_count() or 1) * 2)
 
 
 def resolve_workers(requested: int | None, default: int = 4) -> int:
-    """Clamp a requested worker count to ``[1, worker_cap()]``."""
+    """Clamp a requested worker count to ``[1, worker_cap()]``.
+
+    Args:
+        requested: The caller's worker request, or ``None`` for the default.
+        default: Fallback when nothing was requested.
+
+    Returns:
+        A worker count that is at least 1 and at most :func:`worker_cap`.
+    """
     workers = requested if requested is not None else default
     return max(1, min(int(workers), worker_cap()))
 
@@ -116,6 +127,17 @@ class WorkerPool:
     """
 
     def __init__(self, max_workers: int | None = None, task_timeout_seconds: float = 10.0) -> None:
+        """Size the pool; no worker processes are spawned until the first batch.
+
+        Args:
+            max_workers: Requested worker count, clamped by
+                :func:`resolve_workers`.
+            task_timeout_seconds: Default per-task time budget, enforced
+                inside each worker with ``SIGALRM``.
+
+        Raises:
+            SandboxError: If ``task_timeout_seconds`` is not positive.
+        """
         if task_timeout_seconds <= 0:
             raise SandboxError("task_timeout_seconds must be positive")
         self.max_workers = resolve_workers(max_workers)
@@ -178,8 +200,21 @@ class WorkerPool:
     ) -> list[dict[str, Any]]:
         """Execute every source against ``target_name``, preserving input order.
 
-        Returns one payload dict per source: ``{"status": "ok", "result": ...}``,
-        ``{"status": "timeout"}``, or ``{"status": "error", "error": ...}``.
+        Args:
+            target_name: Registry name of the target system to drive.
+            module_sources: Module sources, one task each; every payload in
+                this list is in flight at once, so callers bound batch sizes
+                (see ``ExecutionConfig.batch_size``).
+            seed: Workload seed shared by every task.
+            iterations: Workload iterations per task.
+            timeout_seconds: Per-task override of the pool's default budget.
+
+        Returns:
+            One payload dict per source, in submission order:
+            ``{"status": "ok", "result": ...}``, ``{"status": "timeout"}``,
+            or ``{"status": "error", "error": ...}``.  A task that wedges or
+            kills its worker only fails itself; siblings are retried on a
+            rebuilt pool.
         """
         timeout = float(timeout_seconds if timeout_seconds is not None else self.task_timeout_seconds)
         tasks = [

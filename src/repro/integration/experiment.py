@@ -75,11 +75,27 @@ class ExperimentRunner:
         self.target = get_target(target) if isinstance(target, str) else target
         self.config = config or IntegrationConfig()
         self.execution = execution or ExecutionConfig()
+        self._owns_runner = runner is None
         self._runner = runner or SandboxRunner(self.config, execution=self.execution)
         self._classifier = classifier or FailureClassifier()
         self._integrator = FaultIntegrator(workspaces)
         self._seed = seed
         self._baseline: TargetRunResult | None = None
+
+    def close(self) -> None:
+        """Release the sandbox runner if this experiment runner created it.
+
+        Idempotent; borrowed runners (passed into ``__init__``) are left to
+        their owner.  Use the runner as a context manager for scoped cleanup.
+        """
+        if self._owns_runner:
+            self._runner.close()
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
 
     @property
     def baseline(self) -> TargetRunResult:
@@ -116,17 +132,53 @@ class ExperimentRunner:
         faults: Sequence[GeneratedFault | AppliedFault],
         mode: str = "subprocess",
         max_workers: int | None = None,
+        batch_size: int | None = None,
     ) -> ExperimentBatch:
         """Integrate and execute many faults, running independent experiments concurrently.
 
-        Faults may mix LLM-generated and operator-applied kinds.  Integration
-        happens up front (it is cheap and shares the cached target source and
-        parse trees); the sandbox runs are then submitted as per-mode batches.
-        Records come back in input order and, run for run, match what a serial
-        loop over :meth:`run_generated` / :meth:`run_applied` produces for the
-        same seed.
+        Faults may mix LLM-generated and operator-applied kinds.  The campaign
+        is processed in consecutive chunks of at most ``batch_size`` faults
+        (default: ``ExecutionConfig.batch_size``): each chunk is integrated,
+        grouped by effective execution mode, and submitted as one sandbox
+        batch before the next chunk is touched, so arbitrarily large
+        campaigns hold at most one chunk of integrated module sources and
+        in-flight results in memory.  Records come back in input order and,
+        run for run, match what a serial loop over :meth:`run_generated` /
+        :meth:`run_applied` produces for the same seed.
+
+        Args:
+            faults: Generated and/or operator-applied faults to execute.
+            mode: Requested execution mode; hang-prone faults are promoted
+                from ``inprocess`` to ``subprocess`` automatically.
+            max_workers: Per-call worker override (capped by the CPU count).
+            batch_size: Chunk size for the integrate-and-execute pipeline;
+                defaults to ``ExecutionConfig.batch_size``.
+
+        Returns:
+            An :class:`ExperimentBatch` with one record per input fault.
+
+        Raises:
+            ExperimentError: If ``batch_size`` is not positive.
         """
         faults = list(faults)
+        chunk_size = self.execution.batch_size if batch_size is None else int(batch_size)
+        if chunk_size <= 0:
+            raise ExperimentError("batch_size must be positive")
+        batch = ExperimentBatch(target_name=self.target.name)
+        for start in range(0, len(faults), chunk_size):
+            batch.records.extend(
+                self._run_chunk(faults[start : start + chunk_size], mode, max_workers, chunk_size)
+            )
+        return batch
+
+    def _run_chunk(
+        self,
+        faults: list[GeneratedFault | AppliedFault],
+        mode: str,
+        max_workers: int | None,
+        chunk_size: int,
+    ) -> list[ExperimentRecord]:
+        """Integrate and execute one chunk of faults, preserving input order."""
         records: list[ExperimentRecord | None] = [None] * len(faults)
         pending: list[tuple[int, str, IntegratedFault, str]] = []
         for index, fault in enumerate(faults):
@@ -161,15 +213,14 @@ class ExperimentRunner:
                 iterations=self.config.workload_iterations,
                 mode=effective_mode,
                 max_workers=max_workers,
+                batch_size=chunk_size,
             )
             for (index, fault_id, integrated), observation in zip(group, observations):
                 records[index] = self._record_from_observation(
                     fault_id, integrated, observation, effective_mode, baseline
                 )
 
-        batch = ExperimentBatch(target_name=self.target.name)
-        batch.records = [record for record in records if record is not None]
-        return batch
+        return [record for record in records if record is not None]
 
     def run_batch_generated(
         self, faults: Iterable[GeneratedFault], mode: str = "subprocess"

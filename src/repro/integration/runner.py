@@ -16,6 +16,10 @@ Three execution modes are provided:
 Batches submitted through :meth:`SandboxRunner.run_batch` execute concurrently
 (threads driving subprocesses, or pool workers) and always return observations
 in submission order, so campaign reports stay deterministic for a given seed.
+Submissions are additionally chunked by :attr:`ExecutionConfig.batch_size`, so
+arbitrarily large campaigns keep at most ``batch_size`` task payloads in
+flight at any moment; see ``docs/EXECUTION.md`` for how to tune the chunk size
+against memory.
 """
 
 from __future__ import annotations
@@ -114,7 +118,23 @@ class SandboxRunner:
         iterations: int | None = None,
         mode: str = "subprocess",
     ) -> RunObservation:
-        """Execute the target's workload against ``module_source``."""
+        """Execute the target's workload against one module source.
+
+        Args:
+            target_name: Registry name of the target system to drive.
+            module_source: Python source of the (possibly mutated) module.
+            seed: Workload seed; the same seed reproduces the same run.
+            iterations: Workload iterations; defaults to
+                ``IntegrationConfig.workload_iterations``.
+            mode: One of ``"inprocess"``, ``"subprocess"``, or ``"pool"``.
+
+        Returns:
+            A :class:`RunObservation` with the run result or the harness-level
+            signal (timeout, crash, unparseable output) that replaced it.
+
+        Raises:
+            SandboxError: If ``mode`` is not a known execution mode.
+        """
         iterations = iterations or self._config.workload_iterations
         if mode == "inprocess":
             return self._run_inprocess(target_name, module_source, seed, iterations)
@@ -132,15 +152,66 @@ class SandboxRunner:
         iterations: int | None = None,
         mode: str = "subprocess",
         max_workers: int | None = None,
+        batch_size: int | None = None,
     ) -> list[RunObservation]:
         """Execute many module sources concurrently, preserving input order.
 
         Every run uses the same ``seed``, matching what a serial loop over
         :meth:`run` would do, so batched campaigns reproduce serial outcomes.
+        Sources are submitted in consecutive chunks of at most ``batch_size``,
+        so the number of in-flight task payloads — and therefore peak memory —
+        is bounded no matter how large the campaign is.
+
+        Args:
+            target_name: Registry name of the target system to drive.
+            module_sources: Module sources, one sandbox run each.
+            seed: Workload seed shared by every run in the batch.
+            iterations: Workload iterations; defaults to
+                ``IntegrationConfig.workload_iterations``.
+            mode: One of ``"inprocess"``, ``"subprocess"``, or ``"pool"``.
+            max_workers: Per-call worker override (capped by the CPU count).
+            batch_size: Chunk size for submissions; defaults to
+                ``ExecutionConfig.batch_size``.
+
+        Returns:
+            One :class:`RunObservation` per source, in submission order.
+
+        Raises:
+            SandboxError: If ``mode`` is unknown or ``batch_size`` is not
+                positive.
         """
         iterations = iterations or self._config.workload_iterations
         if not module_sources:
             return []
+        if mode not in _MODES:
+            raise SandboxError(f"unknown runner mode {mode!r}; use one of {_MODES}")
+        chunk_size = self._execution.batch_size if batch_size is None else int(batch_size)
+        if chunk_size <= 0:
+            raise SandboxError("batch_size must be positive")
+        observations: list[RunObservation] = []
+        for start in range(0, len(module_sources), chunk_size):
+            observations.extend(
+                self._dispatch_chunk(
+                    target_name,
+                    module_sources[start : start + chunk_size],
+                    seed,
+                    iterations,
+                    mode,
+                    max_workers,
+                )
+            )
+        return observations
+
+    def _dispatch_chunk(
+        self,
+        target_name: str,
+        module_sources: list[str],
+        seed: int,
+        iterations: int,
+        mode: str,
+        max_workers: int | None,
+    ) -> list[RunObservation]:
+        """Run one submission chunk through the requested execution mode."""
         if mode == "inprocess":
             # In-interpreter runs are GIL-bound; threads would only add noise.
             return [
@@ -161,9 +232,7 @@ class SandboxRunner:
                         module_sources,
                     )
                 )
-        if mode == "pool":
-            return self._run_pool(target_name, module_sources, seed, iterations, max_workers)
-        raise SandboxError(f"unknown runner mode {mode!r}; use one of {_MODES}")
+        return self._run_pool(target_name, module_sources, seed, iterations, max_workers)
 
     # -- modes --------------------------------------------------------------------
 

@@ -7,7 +7,9 @@ Components:
 * :class:`RewardModel` / :class:`CandidateFeaturizer` — Bradley–Terry reward
   model over (prompt, candidate) features;
 * :class:`SimulatedTester` / :class:`PreferenceProfile` — offline testers with
-  hidden expectations (the human stand-ins for the experiments);
+  hidden expectations (the human stand-ins for the experiments); whole rounds
+  of candidates are scored at once via :meth:`SimulatedTester.review_batch`,
+  optionally against real sandbox executions;
 * :class:`PolicyOptimizer` — KL-regularised REINFORCE policy updates;
 * :class:`RLHFTrainer` — the full iterative refinement loop.
 """

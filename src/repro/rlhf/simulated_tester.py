@@ -140,6 +140,84 @@ class SimulatedTester:
         """Candidates ordered from most to least preferred."""
         return sorted(candidates, key=lambda candidate: self.rate(spec, candidate), reverse=True)
 
+    # -- batch scoring -------------------------------------------------------------
+
+    def review_batch(
+        self,
+        spec: FaultSpec,
+        candidates: list[GenerationCandidate],
+        runner=None,
+        mode: str | None = None,
+    ) -> list[Feedback]:
+        """Review a whole round of candidates in one call.
+
+        Without ``runner`` this is exactly ``[self.review(spec, c) for c in
+        candidates]`` — a pure-preference review.  With ``runner`` (an
+        :class:`~repro.integration.experiment.ExperimentRunner`) every
+        candidate's fault is integrated and executed as **one** sandbox batch
+        (pooled workers when ``mode="pool"``), and the execution evidence is
+        folded into each review via :meth:`review_executed`.
+
+        Args:
+            spec: The fault specification the candidates were generated for.
+            candidates: One round of generation candidates.
+            runner: Optional experiment runner whose target the candidate
+                faults are executed against.
+            mode: Execution mode for the batch; defaults to ``"pool"``.
+
+        Returns:
+            One :class:`~repro.types.Feedback` per candidate, in input order.
+        """
+        if runner is None:
+            return [self.review(spec, candidate) for candidate in candidates]
+        batch = runner.run_many([candidate.fault for candidate in candidates], mode=mode or "pool")
+        return [
+            self.review_executed(spec, candidate, record)
+            for candidate, record in zip(candidates, batch.records)
+        ]
+
+    def review_executed(self, spec: FaultSpec, candidate: GenerationCandidate, record) -> Feedback:
+        """Fold one fault-injection experiment into a candidate's review.
+
+        Execution evidence only ever *lowers* a preference-based rating: a
+        fault that could not be integrated rates 0, and a fault that never
+        activated during testing rates half — simulated testers, like real
+        ones, reject faults that demonstrably do nothing.
+
+        Args:
+            spec: The fault specification the candidate was generated for.
+            candidate: The candidate that was executed.
+            record: The
+                :class:`~repro.integration.experiment.ExperimentRecord`
+                observed for the candidate's fault.
+
+        Returns:
+            A :class:`~repro.types.Feedback` blending preference distance
+            with what the sandbox observed.
+        """
+        base = self.review(spec, candidate)
+        outcome = record.outcome
+        if outcome.details.get("integration_failed"):
+            return Feedback(
+                fault_id=base.fault_id,
+                rating=0.0,
+                critique="the fault could not be integrated into the target code; "
+                         "inject it where the described operation actually runs",
+                directives=dict(base.directives),
+                accept=False,
+            )
+        if not outcome.activated:
+            complaint = "the injected fault never activated during testing; make it trigger on the executed path"
+            critique = f"{base.critique}; {complaint}" if base.critique else complaint
+            return Feedback(
+                fault_id=base.fault_id,
+                rating=round(base.rating * 0.5, 3),
+                critique=critique,
+                directives=dict(base.directives),
+                accept=False,
+            )
+        return base
+
 
 def tester_pool(seed: int = 31, profiles: tuple[PreferenceProfile, ...] = DEFAULT_PROFILES) -> list[SimulatedTester]:
     """A pool of testers with the default preference profiles."""

@@ -87,13 +87,36 @@ class RLHFTrainer:
         testers: list[SimulatedTester],
         config: RLHFConfig | None = None,
         rng: SeededRNG | None = None,
+        runner=None,
+        execution_mode: str | None = None,
     ) -> None:
+        """Wire the RLHF loop together.
+
+        Args:
+            generator: The fault-generation policy under training.
+            testers: Simulated testers providing (hidden-preference) feedback.
+            config: RLHF schedule; defaults to :class:`RLHFConfig`.
+            rng: Deterministic RNG override.
+            runner: Optional
+                :class:`~repro.integration.experiment.ExperimentRunner`; when
+                given, every round of candidates is integrated and executed as
+                one sandbox batch and the execution evidence flows into the
+                testers' ratings (see
+                :meth:`SimulatedTester.review_batch`).
+            execution_mode: Execution mode for those batches (default
+                ``"pool"``).
+
+        Raises:
+            ValueError: If ``testers`` is empty.
+        """
         if not testers:
             raise ValueError("RLHF requires at least one tester")
         self._generator = generator
         self._testers = list(testers)
         self._config = config or RLHFConfig()
         self._rng = rng or SeededRNG(self._config.seed, namespace="rlhf")
+        self._runner = runner
+        self._execution_mode = execution_mode
         self._featurizer = CandidateFeaturizer(generator.encoder)
         self.reward_model = RewardModel(self._featurizer.dimension, self._config)
         self.preferences = PreferenceDataset()
@@ -144,11 +167,18 @@ class RLHFTrainer:
             candidates = self._generator.candidates(
                 prompt, count=self._config.candidates_per_iteration, iteration=iteration
             )
-            ranked = tester.rank(prompt.spec, candidates)
-            rated = [(candidate, tester.rate(prompt.spec, candidate)) for candidate in ranked]
+            # One review call scores the whole round; with an execution runner
+            # attached, the candidates run as a single pooled sandbox batch.
+            reviews = tester.review_batch(
+                prompt.spec, candidates, runner=self._runner, mode=self._execution_mode
+            )
+            order = sorted(
+                range(len(candidates)), key=lambda i: reviews[i].rating, reverse=True
+            )
+            rated = [(candidates[i], reviews[i].rating) for i in order]
             ratings.extend(rating for _candidate, rating in rated)
             best_ratings.append(rated[0][1])
-            accepted += sum(1 for _candidate, rating in rated if rating >= tester.accept_threshold)
+            accepted += sum(1 for i in order if reviews[i].accept)
             reviewed += len(rated)
 
             featurized = [

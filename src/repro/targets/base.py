@@ -10,6 +10,11 @@ The automated integration and testing tool (Section III-B.4) loads the
 (possibly mutated) module source, runs the workload, and classifies the
 observed behaviour into failure modes; the invariant checks are what
 distinguish silent corruption from a clean run.
+
+Subclasses implement :meth:`TargetSystem._build_source` (plus the workload and
+invariant hooks); the public :meth:`TargetSystem.build_source` is a concrete
+memoizing wrapper, so campaigns that integrate N faults against one target
+reuse a single source string instead of rebuilding it per fault.
 """
 
 from __future__ import annotations
@@ -69,9 +74,14 @@ class TargetSystem(ABC):
     def build_source(self) -> str:
         """Return the pristine Python source of the target module (memoized).
 
-        Source construction is a pure derivation, so it runs once per target
+        This method is concrete, not abstract: subclasses override
+        :meth:`_build_source`, and this wrapper memoizes the result.  Source
+        construction is a pure derivation, so it runs once per target
         instance; campaigns that integrate N faults against one target reuse
         the same string instead of rebuilding it per fault.
+
+        Returns:
+            The target module's source code, identical on every call.
         """
         cached = getattr(self, "_cached_source", None)
         if cached is None:
@@ -81,7 +91,11 @@ class TargetSystem(ABC):
 
     @abstractmethod
     def _build_source(self) -> str:
-        """Construct the pristine Python source of the target module."""
+        """Construct the pristine Python source of the target module.
+
+        Called at most once per instance via :meth:`build_source`; keep it
+        pure (no per-call randomness) so the memoized source is stable.
+        """
 
     @abstractmethod
     def run_workload(self, module: types.ModuleType, iterations: int, rng: SeededRNG) -> dict[str, Any]:
