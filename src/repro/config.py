@@ -15,7 +15,14 @@ from .errors import ConfigurationError
 
 @dataclass
 class ModelConfig:
-    """Hyper-parameters of the fault-generation policy network."""
+    """Hyper-parameters of the fault-generation policy network.
+
+    ``encoder_cache_size`` and ``render_cache_size`` bound the prompt-keyed
+    memoization caches of :class:`~repro.llm.features.FeatureEncoder` and
+    :class:`~repro.llm.grammar.CodeGrammar` (LRU entries; ``0`` disables a
+    cache entirely, which the benchmarks use for the uncached per-sample
+    reference path).
+    """
 
     embedding_dim: int = 32
     hidden_dim: int = 64
@@ -27,6 +34,8 @@ class ModelConfig:
     top_p: float | None = None
     constrain_to_spec: bool = True
     spec_constraint_threshold: float = 0.3
+    encoder_cache_size: int = 2048
+    render_cache_size: int = 1024
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.spec_constraint_threshold <= 1.0):
@@ -41,6 +50,8 @@ class ModelConfig:
             raise ConfigurationError("top_k must be positive when set")
         if self.top_p is not None and not (0.0 < self.top_p <= 1.0):
             raise ConfigurationError("top_p must be in (0, 1] when set")
+        if self.encoder_cache_size < 0 or self.render_cache_size < 0:
+            raise ConfigurationError("cache sizes must be non-negative (0 disables)")
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)

@@ -157,6 +157,18 @@ class NeuralFaultInjector:
         """Stage 3: code generation."""
         return self.generator.generate(prompt, greedy=greedy, iteration=iteration)
 
+    def generate_faults(
+        self, prompts: list[GenerationPrompt], greedy: bool = True, iteration: int = 0
+    ) -> list[GenerationCandidate]:
+        """Stage 3, batched: one fault per prompt via one batched forward pass.
+
+        Campaign-scale code generation should come through here rather than a
+        ``generate_fault`` loop — prompt encodings and rendered snippets are
+        cached across repeats and the policy runs one matmul per head for the
+        whole prompt set.
+        """
+        return self.generator.generate_batch(prompts, greedy=greedy, iteration=iteration)
+
     def refine(
         self,
         spec: FaultSpec,
@@ -185,6 +197,21 @@ class NeuralFaultInjector:
         spec, context = self.define_fault(text, code=code)
         prompt = self.build_prompt(spec, context)
         return self.generate_fault(prompt, greedy=greedy).fault
+
+    def inject_many(
+        self, texts: list[str], code: str | None = None, greedy: bool = True
+    ) -> list[GeneratedFault]:
+        """Batched :meth:`inject`: NLP per description, then one model batch.
+
+        The NLP stage runs per description (it is pure Python and cached at
+        the analyzer level), and the model stage — encoding, forward pass,
+        decoding — executes as a single batch.
+        """
+        prompts = []
+        for text in texts:
+            spec, context = self.define_fault(text, code=code)
+            prompts.append(self.build_prompt(spec, context))
+        return [candidate.fault for candidate in self.generate_faults(prompts, greedy=greedy)]
 
     def run_workflow(
         self,

@@ -6,14 +6,16 @@ Components:
 * :class:`DescriptionSynthesizer` — tester-style NL descriptions of faults;
 * :class:`DatasetGenerator` — sweeps the SFI tool over the targets (building
   each target's fault candidates up front and optionally validating them as
-  one pooled sandbox batch) and adapts records into SFT examples;
+  one pooled sandbox batch) and adapts records into SFT examples; streams
+  straight to disk via :meth:`DatasetGenerator.generate_to_jsonl`;
 * :func:`split_dataset` — deterministic train/validation/test splits;
-* :func:`save_jsonl` / :func:`load_jsonl` — persistence.
+* :func:`save_jsonl` / :func:`load_jsonl` / :class:`JsonlRecordWriter` —
+  persistence (whole-dataset and incremental).
 """
 
 from .describe import DescriptionSynthesizer
 from .generator import DatasetGenerator, GenerationStats
-from .io import load_jsonl, save_jsonl
+from .io import JsonlRecordWriter, load_jsonl, save_jsonl
 from .records import FaultDataset, FaultRecord
 from .splits import DatasetSplits, split_dataset
 
@@ -24,6 +26,7 @@ __all__ = [
     "FaultDataset",
     "FaultRecord",
     "GenerationStats",
+    "JsonlRecordWriter",
     "load_jsonl",
     "save_jsonl",
     "split_dataset",

@@ -152,19 +152,57 @@ class DatasetGenerator:
             raise DatasetError("at least one target system is required")
         dataset = FaultDataset(name="sfi-generated")
         for target in targets:
-            added = self._generate_for_target(target, dataset)
+            added = self._generate_for_target(target, dataset.add, start_index=len(dataset))
             self.stats.per_target[target.name] = added
         return dataset
 
-    def _generate_for_target(self, target: TargetSystem, dataset: FaultDataset) -> int:
-        """Build, validate, and record one target's batch of fault candidates."""
+    def generate_to_jsonl(self, path, targets: list[TargetSystem] | None = None):
+        """Stream a generated dataset straight to a JSONL file, batch by batch.
+
+        Args:
+            path: Destination JSONL file (parents are created).
+            targets: Target systems to sweep; defaults to every built-in
+                target, with the same registry caveats as :meth:`generate`.
+
+        Returns:
+            The :class:`~pathlib.Path` written.  ``stats`` carries the same
+            per-target/batch bookkeeping as :meth:`generate`.
+
+        Each target's record batch is written (and flushed) as soon as it is
+        validated, so at most one target's candidates are ever held in
+        memory — mega-dataset sweeps are bounded by ``samples_per_target``,
+        not by the total record count.  For a given seed the file is
+        byte-identical to ``save_jsonl(self.generate(targets), path)``.
+
+        Raises:
+            DatasetError: Under the same conditions as :meth:`generate`.
+        """
+        from .io import JsonlRecordWriter
+
+        targets = targets if targets is not None else all_targets()
+        if not targets:
+            raise DatasetError("at least one target system is required")
+        with JsonlRecordWriter(path) as writer:
+            for target in targets:
+                added = self._generate_for_target(
+                    target, writer.write, start_index=writer.records_written
+                )
+                self.stats.per_target[target.name] = added
+        return writer.path
+
+    def _generate_for_target(self, target: TargetSystem, add, start_index: int) -> int:
+        """Build, validate, and emit one target's batch of fault candidates.
+
+        ``add`` receives each :class:`FaultRecord` in order; it either appends
+        to an in-memory dataset or streams to disk.
+        """
         source = target.build_source()
         candidates = self._candidates_for_target(source)
         if self._config.validate_candidates:
             candidates = self._validate_batch(target, candidates)
-        for applied in candidates:
-            record = self._record(target, source, applied, index=len(dataset))
-            dataset.add(record)
+        for offset, applied in enumerate(candidates):
+            record = self._record(target, source, applied, index=start_index + offset)
+            add(record)
             self.stats.applied += 1
         return len(candidates)
 

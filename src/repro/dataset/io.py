@@ -1,4 +1,10 @@
-"""JSONL persistence for fault datasets."""
+"""JSONL persistence for fault datasets.
+
+Beyond whole-dataset :func:`save_jsonl` / :func:`load_jsonl`, the module
+provides :class:`JsonlRecordWriter` — an incremental writer the dataset
+generator streams into, one record at a time, so mega-datasets reach disk
+chunk by chunk without ever materialising in memory.
+"""
 
 from __future__ import annotations
 
@@ -9,14 +15,51 @@ from ..errors import DatasetError
 from .records import FaultDataset, FaultRecord
 
 
+class JsonlRecordWriter:
+    """Incremental JSONL writer for streaming dataset generation.
+
+    Records are appended as they are produced (one JSON object per line, the
+    same wire format as :func:`save_jsonl`), so the caller never holds more
+    than one target's batch in memory.  Use as a context manager::
+
+        with JsonlRecordWriter("faults.jsonl") as writer:
+            writer.write(record)
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w")
+        self.records_written = 0
+
+    def write(self, record: FaultRecord) -> None:
+        """Append one record as a JSON line and flush it to disk."""
+        if self._handle is None:
+            raise DatasetError(f"writer for {self.path} is already closed")
+        self._handle.write(json.dumps(record.to_dict(), sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.close()
+
+    def __enter__(self) -> "JsonlRecordWriter":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+
 def save_jsonl(dataset: FaultDataset, path: str | Path) -> Path:
     """Write one JSON object per record to ``path`` (creating parents)."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as handle:
+    with JsonlRecordWriter(path) as writer:
         for record in dataset:
-            handle.write(json.dumps(record.to_dict(), sort_keys=True))
-            handle.write("\n")
+            writer.write(record)
     return path
 
 

@@ -23,11 +23,12 @@ from .decoder import Decoder, DecodingResult
 from .features import FeatureEncoder
 from .generator import FaultGenerator, GenerationCandidate
 from .grammar import CodeGrammar, RenderedFault
-from .network import ForwardResult, Gradients, PolicyNetwork
+from .network import BatchForwardResult, ForwardResult, Gradients, PolicyNetwork
 from .sft import SFTExample, SFTReport, SFTTrainer
 
 __all__ = [
     "DECISION_SLOTS",
+    "BatchForwardResult",
     "CodeGrammar",
     "DecisionVector",
     "Decoder",

@@ -46,5 +46,7 @@ def load_checkpoint(directory: str | Path, name: str = "policy") -> PolicyNetwor
         state = {key: arrays[key] for key in arrays.files}
     policy = PolicyNetwork(config)
     policy.load_state(state)
-    policy.version = int(metadata.get("version", 0))
+    # Older checkpoints carry the version only in the JSON metadata; newer ones
+    # also store it in the parameter archive, which load_state already applied.
+    policy.version = int(metadata.get("version", policy.version))
     return policy

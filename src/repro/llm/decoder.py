@@ -4,10 +4,20 @@ Mirrors the sampling controls of hosted LLM APIs: greedy decoding, temperature
 sampling, top-k and nucleus (top-p) truncation.  The decoder returns both the
 chosen :class:`DecisionVector` and its joint log-probability under the
 *untruncated* distribution, which the RLHF policy-gradient step needs.
+
+Every strategy also has a ``*_batch`` variant operating on ``(B, |slot|)``
+probability matrices (one row per prompt): temperature and truncation are
+applied row-wise with sorts and cumulative sums, and sampling draws one RNG
+vector per slot for the whole batch instead of one scalar per (prompt, slot)
+pair.  Batched greedy decoding is exactly equivalent to per-sample greedy;
+batched sampling draws from the same truncated distributions but consumes the
+RNG stream in a different order, so it is deterministic per batch rather than
+per prompt.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -66,7 +76,14 @@ class Decoder:
         count: int,
         temperature: float | None = None,
     ) -> list[DecodingResult]:
-        """Greedy candidate first, then sampled candidates (deduplicated)."""
+        """Greedy candidate first, then sampled candidates (deduplicated).
+
+        When the sampling budget cannot produce ``count`` distinct assignments
+        (heavily constrained distributions collapse the support), the list is
+        padded by repeating earlier candidates with a ``-duplicate`` suffix on
+        their strategy, so downstream diversity statistics can exclude them
+        instead of silently double-counting.
+        """
         if count <= 0:
             raise GenerationError("candidate count must be positive")
         results = [self.greedy(distributions)]
@@ -79,9 +96,74 @@ class Decoder:
             if key not in seen:
                 seen.add(key)
                 results.append(candidate)
+        unique = len(results)
         while len(results) < count:
-            results.append(self.sample(distributions, temperature=temperature or 1.5))
+            base = results[len(results) % unique]
+            results.append(dataclasses.replace(base, strategy=f"{base.strategy}-duplicate"))
         return results[:count]
+
+    # -- batched strategies --------------------------------------------------------
+
+    def greedy_batch(self, distributions: dict[str, np.ndarray]) -> list[DecodingResult]:
+        """Per-row argmax over ``(B, |slot|)`` distribution matrices.
+
+        Row ``i`` of the result equals ``self.greedy`` on row ``i``'s
+        distributions exactly (``np.argmax`` row-wise is ``np.argmax``
+        per vector).
+        """
+        choices = {slot: np.argmax(probs, axis=1) for slot, probs in distributions.items()}
+        return self._results_batch(distributions, choices, strategy="greedy")
+
+    def sample_batch(
+        self,
+        distributions: dict[str, np.ndarray],
+        temperature: float | None = None,
+        top_k: int | None = None,
+        top_p: float | None = None,
+    ) -> list[DecodingResult]:
+        """Sample every (row, slot) with one RNG vector per slot.
+
+        Temperature scaling and top-k / top-p truncation are applied row-wise
+        and match :meth:`sample`'s per-vector maths; the categorical draw
+        inverts each row's CDF with a single uniform vector per slot, so a
+        batch of ``B`` prompts costs ``len(slots)`` RNG calls instead of
+        ``B * len(slots)``.
+        """
+        temperature = temperature if temperature is not None else self._config.temperature
+        top_k = top_k if top_k is not None else self._config.top_k
+        top_p = top_p if top_p is not None else self._config.top_p
+        if temperature <= 0:
+            raise GenerationError("temperature must be positive")
+        choices: dict[str, np.ndarray] = {}
+        for slot, probs in distributions.items():
+            adjusted = self._apply_temperature_rows(probs, temperature)
+            adjusted = self._truncate_rows(adjusted, top_k, top_p)
+            cumulative = np.cumsum(adjusted, axis=1)
+            draws = self._rng.generator.random(probs.shape[0])
+            # Index of the first CDF entry strictly above the draw; the <=
+            # comparison keeps zero-probability prefixes unselectable.
+            indices = np.sum(cumulative <= draws[:, None], axis=1)
+            choices[slot] = np.minimum(indices, probs.shape[1] - 1)
+        return self._results_batch(distributions, choices, strategy="sample")
+
+    def diverse_candidates_batch(
+        self,
+        distributions: dict[str, np.ndarray],
+        count: int,
+        temperature: float | None = None,
+    ) -> list[list[DecodingResult]]:
+        """Per-row :meth:`diverse_candidates` over batched distributions.
+
+        Candidate sets are produced row by row in input order, so the RNG
+        stream (and therefore every candidate) is identical to calling
+        :meth:`diverse_candidates` on each prompt's distributions in sequence.
+        """
+        batch = next(iter(distributions.values())).shape[0] if distributions else 0
+        results: list[list[DecodingResult]] = []
+        for row in range(batch):
+            row_distributions = {slot: probs[row] for slot, probs in distributions.items()}
+            results.append(self.diverse_candidates(row_distributions, count, temperature=temperature))
+        return results
 
     # -- helpers -----------------------------------------------------------------
 
@@ -111,6 +193,58 @@ class Decoder:
         if total <= 0:
             return probs
         return adjusted / total
+
+    @staticmethod
+    def _apply_temperature_rows(probs: np.ndarray, temperature: float) -> np.ndarray:
+        logits = np.log(probs + 1e-12) / temperature
+        shifted = np.exp(logits - np.max(logits, axis=1, keepdims=True))
+        return shifted / np.sum(shifted, axis=1, keepdims=True)
+
+    @staticmethod
+    def _truncate_rows(probs: np.ndarray, top_k: int | None, top_p: float | None) -> np.ndarray:
+        """Row-wise mirror of :meth:`_truncate`.
+
+        Rows whose truncated mass vanishes fall back to their input
+        distribution untouched, exactly as the per-sample path does.
+        """
+        vocabulary = probs.shape[1]
+        adjusted = probs.copy()
+        if top_k is not None and top_k < vocabulary:
+            order = np.argsort(adjusted, axis=1)
+            mask = np.zeros_like(adjusted, dtype=bool)
+            np.put_along_axis(mask, order[:, -top_k:], True, axis=1)
+            adjusted[~mask] = 0.0
+        if top_p is not None and 0.0 < top_p < 1.0:
+            order = np.argsort(adjusted, axis=1)[:, ::-1]
+            cumulative = np.cumsum(np.take_along_axis(adjusted, order, axis=1), axis=1)
+            # searchsorted(cumulative, top_p) per row: entries strictly below
+            # the nucleus mass, plus one to keep the entry that crosses it.
+            cutoffs = np.sum(cumulative < top_p, axis=1) + 1
+            keep = np.arange(vocabulary)[None, :] < cutoffs[:, None]
+            mask = np.zeros_like(adjusted, dtype=bool)
+            np.put_along_axis(mask, order, keep, axis=1)
+            adjusted[~mask] = 0.0
+        totals = np.sum(adjusted, axis=1, keepdims=True)
+        empty = totals[:, 0] <= 0
+        if np.any(empty):
+            # Mirror the per-sample fallback exactly: rows with no surviving
+            # mass return their input distribution verbatim, unrenormalized.
+            adjusted[empty] = probs[empty]
+            totals[empty] = 1.0
+        return adjusted / totals
+
+    def _results_batch(
+        self, distributions: dict[str, np.ndarray], choices: dict[str, np.ndarray], strategy: str
+    ) -> list[DecodingResult]:
+        batch = next(iter(choices.values())).shape[0] if choices else 0
+        return [
+            self._result(
+                {slot: probs[row] for slot, probs in distributions.items()},
+                {slot: int(indices[row]) for slot, indices in choices.items()},
+                strategy=strategy,
+            )
+            for row in range(batch)
+        ]
 
     @staticmethod
     def _result(

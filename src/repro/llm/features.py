@@ -5,11 +5,22 @@ into a fixed-size numpy vector: one-hot encodings of the categorical spec
 fields, boolean directive and code-context flags, and a hashed bag-of-words of
 the description.  Hashing keeps the vector size independent of vocabulary
 growth, which is the property a real tokenizer/embedding stack provides.
+
+Encoding is the per-prompt analogue of tokenization, and campaigns re-encode
+the same prompts thousands of times (every RLHF iteration re-submits the same
+prompt set; every alignment probe re-encodes it again).  The encoder therefore
+memoizes encoded vectors under :meth:`GenerationPrompt.cache_key` — the same
+prefix-reuse idea serving stacks apply to repeated prompts — with an LRU bound
+from ``ModelConfig.encoder_cache_size``.  Cached vectors are returned
+read-only so a cache hit can never be corrupted by a caller mutating its
+view; :meth:`encode_batch` stacks them into the ``(B, feature_dim)`` matrices
+the batched policy network consumes.
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 
 import numpy as np
 
@@ -54,14 +65,60 @@ class FeatureEncoder:
                 f"feature_dim must exceed {self._fixed_size + 8} to leave room for hashed text features"
             )
         self._hash_size = self._config.feature_dim - self._fixed_size
+        self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     @property
     def dimension(self) -> int:
         """Total length of encoded feature vectors."""
         return self._config.feature_dim
 
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters of the prompt-hash encoding cache."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._cache),
+            "max_size": self._config.encoder_cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all memoized encodings (counters included)."""
+        self._cache.clear()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
     def encode(self, prompt: GenerationPrompt) -> np.ndarray:
-        """Encode a prompt into a float vector of length :attr:`dimension`."""
+        """Encode a prompt into a float vector of length :attr:`dimension`.
+
+        Results are memoized by prompt hash; cache hits return the stored
+        vector directly (marked read-only) instead of re-hashing the
+        description bag-of-words.
+        """
+        if self._config.encoder_cache_size <= 0:
+            return self._encode_uncached(prompt)
+        key = prompt.cache_key()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self._cache_misses += 1
+        encoded = self._encode_uncached(prompt)
+        encoded.flags.writeable = False
+        self._cache[key] = encoded
+        while len(self._cache) > self._config.encoder_cache_size:
+            self._cache.popitem(last=False)
+        return encoded
+
+    def encode_batch(self, prompts: list[GenerationPrompt]) -> np.ndarray:
+        """Encode many prompts into one ``(B, feature_dim)`` matrix."""
+        if not prompts:
+            return np.zeros((0, self.dimension), dtype=np.float64)
+        return np.stack([self.encode(prompt) for prompt in prompts])
+
+    def _encode_uncached(self, prompt: GenerationPrompt) -> np.ndarray:
         features = prompt.to_features()
         fixed = np.zeros(self._fixed_size, dtype=np.float64)
         offset = 0

@@ -54,7 +54,9 @@ class FaultGenerator:
         self._rng = rng or SeededRNG(self.config.seed, namespace="generator")
         self.encoder = encoder or FeatureEncoder(self.config)
         self.policy = policy or PolicyNetwork(self.config, rng=self._rng.fork("policy"))
-        self.grammar = grammar or CodeGrammar(rng=self._rng.fork("grammar"))
+        self.grammar = grammar or CodeGrammar(
+            rng=self._rng.fork("grammar"), cache_size=self.config.render_cache_size
+        )
         self.decoder = decoder or Decoder(self.config, rng=self._rng.fork("decoder"))
 
     @property
@@ -92,6 +94,67 @@ class FaultGenerator:
         distributions = self._constrained_distributions(prompt, features)
         decodings = self.decoder.diverse_candidates(distributions, count, temperature=temperature)
         return [self._materialise(prompt, decoding, iteration, salt=str(i)) for i, decoding in enumerate(decodings)]
+
+    # -- batched generation -------------------------------------------------------
+
+    def generate_batch(
+        self,
+        prompts: list[GenerationPrompt],
+        greedy: bool = True,
+        iteration: int = 0,
+        temperature: float | None = None,
+    ) -> list[GenerationCandidate]:
+        """Generate one fault per prompt through a single batched forward pass.
+
+        All prompts are encoded into one feature matrix (cache-assisted), the
+        policy computes every per-slot distribution with one matmul per head,
+        and decoding runs batched.  Greedy batched generation produces exactly
+        the candidates the per-sample :meth:`generate` loop would; sampled
+        batched generation draws from the same distributions with a
+        batch-ordered RNG stream.
+        """
+        if not prompts:
+            return []
+        distributions = self._constrained_distributions_batch(prompts)
+        if greedy:
+            decodings = self.decoder.greedy_batch(distributions)
+        else:
+            decodings = self.decoder.sample_batch(distributions, temperature=temperature)
+        return [
+            self._materialise(prompt, decoding, iteration)
+            for prompt, decoding in zip(prompts, decodings)
+        ]
+
+    def candidates_batch(
+        self,
+        prompts: list[GenerationPrompt],
+        count: int,
+        iteration: int = 0,
+        temperature: float | None = None,
+    ) -> list[list[GenerationCandidate]]:
+        """Diverse candidate sets for many prompts per forward batch.
+
+        The forward pass is batched; candidate decoding then proceeds prompt
+        by prompt in input order, consuming the decoder RNG exactly as the
+        per-prompt :meth:`candidates` loop does — so for a given seed both
+        paths emit identical candidate sets.
+        """
+        if not prompts:
+            return []
+        distributions = self._constrained_distributions_batch(prompts)
+        decoding_sets = self.decoder.diverse_candidates_batch(distributions, count, temperature=temperature)
+        return [
+            [
+                self._materialise(prompt, decoding, iteration, salt=str(i))
+                for i, decoding in enumerate(decodings)
+            ]
+            for prompt, decodings in zip(prompts, decoding_sets)
+        ]
+
+    def logprob_batch(self, prompts: list[GenerationPrompt], decisions: list[DecisionVector]):
+        """Per-prompt joint log-probabilities through one batched forward pass."""
+        features = self.encoder.encode_batch(prompts)
+        return self.policy.log_probabilities_batch(features, decisions)
 
     def forced_slots(self, prompt: GenerationPrompt) -> dict[str, str]:
         """Decision slots pinned by explicit tester feedback.
@@ -152,6 +215,20 @@ class FaultGenerator:
             index = DECISION_SLOTS[slot].index(value)
             distributions[slot][:] = 0.0
             distributions[slot][index] = 1.0
+        return distributions
+
+    def _constrained_distributions_batch(self, prompts: list[GenerationPrompt]) -> dict:
+        """Batched per-slot ``(B, |slot|)`` distributions with per-prompt constraints."""
+        features = self.encoder.encode_batch(prompts)
+        forward = self.policy.forward_batch(features)
+        distributions = {slot: probs.copy() for slot, probs in forward.probabilities.items()}
+        for row, prompt in enumerate(prompts):
+            constraints = self._spec_constraint(prompt)
+            constraints.update(self.forced_slots(prompt))
+            for slot, value in constraints.items():
+                index = DECISION_SLOTS[slot].index(value)
+                distributions[slot][row, :] = 0.0
+                distributions[slot][row, index] = 1.0
         return distributions
 
     def render_decisions(

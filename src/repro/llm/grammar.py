@@ -26,6 +26,7 @@ decoding in DESIGN.md.
 from __future__ import annotations
 
 import ast
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..errors import GrammarError, InjectionError
@@ -80,16 +81,62 @@ class RenderedFault:
 
 
 class CodeGrammar:
-    """Renders decision vectors into syntactically valid faulty Python."""
+    """Renders decision vectors into syntactically valid faulty Python.
 
-    def __init__(self, injector: ProgrammableInjector | None = None, rng: SeededRNG | None = None) -> None:
+    Rendering is deterministic for a given (prompt, decisions) pair — all
+    randomness comes from keyed RNG forks that depend only on the seed and the
+    operator name — so results are memoized under
+    ``(prompt.cache_key(), decisions)`` with an LRU bound of ``cache_size``
+    entries (``0`` disables caching).  Campaign and RLHF workloads render the
+    same greedy decision assignment for the same prompt on every iteration;
+    the cache turns those repeats into dictionary lookups.  Cached
+    :class:`RenderedFault` objects are shared and must be treated as
+    immutable (callers already copy ``notes`` before attaching them to
+    generated faults).
+    """
+
+    def __init__(
+        self,
+        injector: ProgrammableInjector | None = None,
+        rng: SeededRNG | None = None,
+        cache_size: int = 1024,
+    ) -> None:
         self._rng = rng or SeededRNG(0, namespace="grammar")
         self._injector = injector or ProgrammableInjector(rng=self._rng.fork("injector"))
+        self._cache_size = max(0, int(cache_size))
+        self._cache: "OrderedDict[tuple, RenderedFault]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters of the render memoization cache."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._cache),
+            "max_size": self._cache_size,
+        }
 
     # -- public API --------------------------------------------------------------
 
     def render(self, prompt: GenerationPrompt, decisions: DecisionVector) -> RenderedFault:
         """Render ``decisions`` for ``prompt`` into faulty code."""
+        if self._cache_size <= 0:
+            return self._render(prompt, decisions)
+        key = (prompt.cache_key(), tuple(sorted(decisions.to_dict().items())))
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self._cache_misses += 1
+        rendered = self._render(prompt, decisions)
+        self._cache[key] = rendered
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return rendered
+
+    def _render(self, prompt: GenerationPrompt, decisions: DecisionVector) -> RenderedFault:
         decisions.validate()
         spec = prompt.spec
         fault_type = decisions.fault_type

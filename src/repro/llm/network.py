@@ -20,7 +20,7 @@ advantage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -34,6 +34,21 @@ def _softmax(logits: np.ndarray) -> np.ndarray:
     shifted = logits - np.max(logits)
     exponents = np.exp(shifted)
     return exponents / np.sum(exponents)
+
+
+def _softmax_rows(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - np.max(logits, axis=1, keepdims=True)
+    exponents = np.exp(shifted)
+    return exponents / np.sum(exponents, axis=1, keepdims=True)
+
+
+def _decision_index_matrix(decisions: Sequence[DecisionVector]) -> dict[str, np.ndarray]:
+    """Per-slot integer index arrays, one entry per example."""
+    columns = {slot: np.empty(len(decisions), dtype=np.intp) for slot in DECISION_SLOTS}
+    for row, decision in enumerate(decisions):
+        for slot, index in decision.to_indices().items():
+            columns[slot][row] = index
+    return columns
 
 
 @dataclass
@@ -72,6 +87,45 @@ class ForwardResult:
         return total
 
 
+@dataclass
+class BatchForwardResult:
+    """Outputs of a batched forward pass over a ``(B, feature_dim)`` matrix.
+
+    ``hidden`` is ``(B, hidden_dim)`` and each per-slot probability matrix is
+    ``(B, |slot|)``; row ``i`` matches :class:`ForwardResult` for example ``i``
+    exactly (same shift-by-max softmax, evaluated row-wise).
+    """
+
+    features: np.ndarray
+    hidden: np.ndarray
+    probabilities: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.hidden.shape[0])
+
+    def row(self, index: int) -> ForwardResult:
+        """The per-sample view of one batch row (reference-oracle adapter)."""
+        return ForwardResult(
+            features=self.features[index],
+            hidden=self.hidden[index],
+            probabilities={slot: probs[index] for slot, probs in self.probabilities.items()},
+        )
+
+    def log_probabilities(self, decisions: Sequence[DecisionVector]) -> np.ndarray:
+        """Joint log-probability of one decision assignment per batch row."""
+        if len(decisions) != self.batch_size:
+            raise ModelError(
+                f"expected {self.batch_size} decision vectors, got {len(decisions)}"
+            )
+        indices = _decision_index_matrix(decisions)
+        rows = np.arange(self.batch_size)
+        total = np.zeros(self.batch_size)
+        for slot, probs in self.probabilities.items():
+            total += np.log(probs[rows, indices[slot]] + 1e-12)
+        return total
+
+
 class PolicyNetwork:
     """Multi-head softmax policy over the decision schema."""
 
@@ -103,9 +157,34 @@ class PolicyNetwork:
         }
         return ForwardResult(features=features, hidden=hidden, probabilities=probabilities)
 
+    def forward_batch(self, features: np.ndarray) -> BatchForwardResult:
+        """Compute per-slot distributions for a whole ``(B, feature_dim)`` batch.
+
+        One ``tanh`` matmul and one softmax matmul per head replace ``B``
+        per-sample passes; row ``i`` of the result equals
+        ``self.forward(features[i])`` to floating-point noise.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.config.feature_dim:
+            raise ModelError(
+                f"expected feature matrix of shape (B, {self.config.feature_dim}), got {features.shape}"
+            )
+        hidden = np.tanh(features @ self.w1.T + self.b1)
+        probabilities = {
+            slot: _softmax_rows(hidden @ self.heads_w[slot].T + self.heads_b[slot])
+            for slot in DECISION_SLOTS
+        }
+        return BatchForwardResult(features=features, hidden=hidden, probabilities=probabilities)
+
     def log_probability(self, features: np.ndarray, decisions: DecisionVector) -> float:
         """Joint log-probability of ``decisions`` given ``features``."""
         return self.forward(features).log_probability(decisions)
+
+    def log_probabilities_batch(
+        self, features: np.ndarray, decisions: Sequence[DecisionVector]
+    ) -> np.ndarray:
+        """Joint log-probability of one decision assignment per feature row."""
+        return self.forward_batch(features).log_probabilities(decisions)
 
     def distributions(self, features: np.ndarray) -> dict[str, np.ndarray]:
         """Per-slot probability vectors (copies safe for the decoder to modify)."""
@@ -147,6 +226,44 @@ class PolicyNetwork:
         gradients.examples = 1
         return gradients
 
+    def backward_batch(
+        self,
+        forward: BatchForwardResult,
+        decisions: Sequence[DecisionVector],
+        scales: np.ndarray | Sequence[float] | None = None,
+        slot_weights: Mapping[str, float] | None = None,
+    ) -> Gradients:
+        """Accumulated gradients of ``sum_i scales[i] * -log p(decisions[i])``.
+
+        Equivalent to summing :meth:`backward` over every batch row, but the
+        per-example ``np.outer`` rank-1 updates collapse into three matmuls per
+        head (``logit_grad.T @ hidden``, ``logit_grad @ W``, ``pre.T @ x``).
+        """
+        batch = forward.batch_size
+        if len(decisions) != batch:
+            raise ModelError(f"expected {batch} decision vectors, got {len(decisions)}")
+        if scales is None:
+            scale_column = np.ones((batch, 1))
+        else:
+            scale_column = np.asarray(scales, dtype=np.float64).reshape(batch, 1)
+        gradients = self.zero_gradients()
+        indices = _decision_index_matrix(decisions)
+        rows = np.arange(batch)
+        hidden_grad = np.zeros_like(forward.hidden)
+        for slot, probabilities in forward.probabilities.items():
+            weight = (slot_weights or {}).get(slot, 1.0)
+            logit_grad = probabilities.copy()
+            logit_grad[rows, indices[slot]] -= 1.0
+            logit_grad *= scale_column * weight
+            gradients.heads_w[slot] += logit_grad.T @ forward.hidden
+            gradients.heads_b[slot] += logit_grad.sum(axis=0)
+            hidden_grad += logit_grad @ self.heads_w[slot]
+        pre_activation_grad = hidden_grad * (1.0 - forward.hidden**2)
+        gradients.w1 += pre_activation_grad.T @ forward.features
+        gradients.b1 += pre_activation_grad.sum(axis=0)
+        gradients.examples = batch
+        return gradients
+
     def apply_gradients(self, gradients: Gradients, learning_rate: float | None = None) -> None:
         """SGD step averaging accumulated gradients over their examples."""
         if gradients.examples == 0:
@@ -164,13 +281,16 @@ class PolicyNetwork:
         """Negative log-likelihood of a decision assignment (training metric)."""
         return -self.log_probability(features, decisions)
 
+    def nll_batch(self, features: np.ndarray, decisions: Sequence[DecisionVector]) -> np.ndarray:
+        """Per-example negative log-likelihoods for a whole batch."""
+        return -self.log_probabilities_batch(features, decisions)
+
     # -- cloning and state -------------------------------------------------------
 
     def clone(self) -> "PolicyNetwork":
         """Deep copy used to freeze a reference policy for the KL penalty."""
         copy = PolicyNetwork(config=self.config, rng=SeededRNG(self.config.seed, namespace="clone"))
         copy.load_state(self.state_dict())
-        copy.version = self.version
         return copy
 
     def state_dict(self) -> dict[str, np.ndarray]:
@@ -178,6 +298,7 @@ class PolicyNetwork:
         for slot in DECISION_SLOTS:
             state[f"head_w:{slot}"] = self.heads_w[slot].copy()
             state[f"head_b:{slot}"] = self.heads_b[slot].copy()
+        state["version"] = np.array(self.version)
         return state
 
     def load_state(self, state: Mapping[str, np.ndarray]) -> None:
@@ -189,6 +310,8 @@ class PolicyNetwork:
                 self.heads_b[slot] = np.array(state[f"head_b:{slot}"], dtype=np.float64)
         except KeyError as exc:
             raise ModelError(f"checkpoint is missing parameter {exc}") from exc
+        if "version" in state:
+            self.version = int(state["version"])
         if self.w1.shape != (self.config.hidden_dim, self.config.feature_dim):
             raise ModelError(
                 "checkpoint dimensions do not match the configured model "
@@ -204,4 +327,15 @@ class PolicyNetwork:
             p = own[slot]
             q = other[slot]
             total += float(np.sum(p * (np.log(p + 1e-12) - np.log(q + 1e-12))))
+        return total
+
+    def kl_divergence_batch(self, features: np.ndarray, reference: "PolicyNetwork") -> np.ndarray:
+        """Per-prompt KL(self || reference) for a whole feature matrix."""
+        own = self.forward_batch(features).probabilities
+        other = reference.forward_batch(features).probabilities
+        total = np.zeros(features.shape[0])
+        for slot in DECISION_SLOTS:
+            p = own[slot]
+            q = other[slot]
+            total += np.sum(p * (np.log(p + 1e-12) - np.log(q + 1e-12)), axis=1)
         return total

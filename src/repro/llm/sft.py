@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..config import SFTConfig
 from ..rng import SeededRNG
 from ..nlp.prompt_builder import GenerationPrompt
@@ -58,7 +60,16 @@ class SFTReport:
 
 
 class SFTTrainer:
-    """Mini-batch SGD trainer for the generation policy."""
+    """Mini-batch SGD trainer for the generation policy.
+
+    Every minibatch is processed as one matrix: one batched forward pass
+    computes all per-slot distributions, one batched backward pass accumulates
+    the whole minibatch's gradients, and one SGD step applies them.  The
+    shuffle stream and update schedule are identical to per-sample training —
+    the minibatch boundaries, learning rate, and gradient averaging match the
+    per-example loop to floating-point noise — so the vectorized trainer is a
+    drop-in replacement validated against the per-sample oracle in the tests.
+    """
 
     def __init__(self, generator: FaultGenerator, config: SFTConfig | None = None) -> None:
         self._generator = generator
@@ -72,22 +83,21 @@ class SFTTrainer:
             return report
         policy = self._generator.policy
         encoder = self._generator.encoder
-        encoded = [(encoder.encode(example.prompt), example.target) for example in examples]
+        features_matrix = encoder.encode_batch([example.prompt for example in examples])
+        targets = [example.target for example in examples]
+        count = len(examples)
+        batch_size = self._config.batch_size
         for _epoch in range(self._config.epochs):
-            ordering = self._rng.shuffle(list(range(len(encoded)))) if self._config.shuffle else list(
-                range(len(encoded))
-            )
+            ordering = self._rng.shuffle(list(range(count))) if self._config.shuffle else list(range(count))
             epoch_loss = 0.0
-            batch = policy.zero_gradients()
-            for position, index in enumerate(ordering):
-                features, target = encoded[index]
-                forward = policy.forward(features)
-                epoch_loss += -forward.log_probability(target)
-                batch.add(policy.backward(forward, target))
-                if batch.examples >= self._config.batch_size or position == len(ordering) - 1:
-                    policy.apply_gradients(batch, learning_rate=self._config.learning_rate)
-                    batch = policy.zero_gradients()
-            report.epoch_losses.append(epoch_loss / len(encoded))
+            for start in range(0, count, batch_size):
+                chunk = ordering[start : start + batch_size]
+                forward = policy.forward_batch(features_matrix[chunk])
+                chunk_targets = [targets[index] for index in chunk]
+                epoch_loss += float(np.sum(-forward.log_probabilities(chunk_targets)))
+                gradients = policy.backward_batch(forward, chunk_targets)
+                policy.apply_gradients(gradients, learning_rate=self._config.learning_rate)
+            report.epoch_losses.append(epoch_loss / count)
         return report
 
     def evaluate(self, examples: list[SFTExample]) -> dict[str, float]:
@@ -95,18 +105,19 @@ class SFTTrainer:
         if not examples:
             return {"nll": float("nan"), "exact_match": 0.0, "slot_accuracy": 0.0}
         policy = self._generator.policy
-        encoder = self._generator.encoder
         decoder = self._generator.decoder
-        total_nll = 0.0
+        encoder = self._generator.encoder
+        features_matrix = encoder.encode_batch([example.prompt for example in examples])
+        targets = [example.target for example in examples]
+        forward = policy.forward_batch(features_matrix)
+        total_nll = float(np.sum(-forward.log_probabilities(targets)))
+        decoded_batch = decoder.greedy_batch(forward.probabilities)
         exact = 0
         slot_hits = 0
         slot_total = 0
-        for example in examples:
-            features = encoder.encode(example.prompt)
-            total_nll += policy.nll(features, example.target)
-            decoded = decoder.greedy(policy.distributions(features)).decisions
-            target_map = example.target.to_dict()
-            decoded_map = decoded.to_dict()
+        for decoded, target in zip(decoded_batch, targets):
+            target_map = target.to_dict()
+            decoded_map = decoded.decisions.to_dict()
             if decoded_map == target_map:
                 exact += 1
             for slot, value in target_map.items():

@@ -10,6 +10,8 @@ paper describes.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -29,6 +31,35 @@ class GenerationPrompt:
         if self.spec.target.class_name and self.spec.target.function:
             return f"{self.spec.target.class_name}.{self.spec.target.function}"
         return self.spec.target.function
+
+    def cache_key(self) -> str:
+        """Stable digest of everything the model layer reads from this prompt.
+
+        Covers the full spec, the merged directives, the code context source,
+        and the selected function, so two prompts with equal keys encode to
+        identical feature vectors and render identically for the same decision
+        vector.  Campaigns and RLHF loops re-submit the same prompts thousands
+        of times; this key is what the encoder and grammar caches index on.
+        Computed once and memoized — prompts are treated as immutable after
+        construction (``PromptBuilder.refine`` builds new instances).
+        """
+        cached = getattr(self, "_cache_key", None)
+        if cached is not None:
+            return cached
+        selected = self.context.selected if self.context is not None else None
+        payload = json.dumps(
+            {
+                "spec": self.spec.to_dict(),
+                "feedback_directives": self.feedback_directives,
+                "context_source": self.context.source if self.context is not None else None,
+                "selected": selected.qualified_name if selected is not None else None,
+            },
+            sort_keys=True,
+            default=repr,
+        )
+        key = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        self._cache_key = key
+        return key
 
     def to_features(self) -> dict[str, Any]:
         """Flatten the prompt into the feature dictionary the encoder consumes."""

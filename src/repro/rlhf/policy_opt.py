@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..config import RLHFConfig
 from ..llm.decisions import DecisionVector
 from ..llm.network import PolicyNetwork
@@ -85,42 +87,44 @@ class PolicyOptimizer:
         self._reference = self._policy.clone()
 
     def update(self, samples: list[RewardedSample]) -> PolicyUpdateStats:
-        """Apply one policy-gradient step over a batch of rewarded samples."""
+        """Apply one policy-gradient step over a batch of rewarded samples.
+
+        The whole minibatch flows through two batched forward passes (policy
+        and frozen reference) for the KL-shaped rewards, and one batched
+        backward pass with the per-sample advantages as scales — no
+        per-example ``np.outer`` loops.  The maths matches the per-sample
+        REINFORCE update to floating-point noise (the tests pin this against
+        the per-sample oracle).
+        """
         stats = PolicyUpdateStats(samples=len(samples))
         if not samples:
             return stats
         beta = self._config.kl_beta
-        shaped_rewards: list[float] = []
-        kls: list[float] = []
-        encoded = []
-        for sample in samples:
-            features = self._encoder.encode(sample.prompt)
-            logprob = self._policy.log_probability(features, sample.decisions)
-            ref_logprob = self._reference.log_probability(features, sample.decisions)
-            kl_term = logprob - ref_logprob
-            shaped = sample.reward - beta * kl_term
-            shaped_rewards.append(shaped)
-            kls.append(kl_term)
-            encoded.append((features, sample.decisions, shaped))
+        features = self._encoder.encode_batch([sample.prompt for sample in samples])
+        decisions = [sample.decisions for sample in samples]
+        rewards = np.array([sample.reward for sample in samples], dtype=np.float64)
 
-        batch_mean = sum(shaped_rewards) / len(shaped_rewards)
+        forward = self._policy.forward_batch(features)
+        logprobs = forward.log_probabilities(decisions)
+        ref_logprobs = self._reference.log_probabilities_batch(features, decisions)
+        kl_terms = logprobs - ref_logprobs
+        shaped_rewards = rewards - beta * kl_terms
+
+        batch_mean = float(np.sum(shaped_rewards)) / len(samples)
         if not self._baseline_initialised:
             self._baseline = batch_mean
             self._baseline_initialised = True
         momentum = self._config.baseline_momentum
         self._baseline = momentum * self._baseline + (1.0 - momentum) * batch_mean
 
-        gradients = self._policy.zero_gradients()
-        for features, decisions, shaped in encoded:
-            advantage = shaped - self._baseline
-            forward = self._policy.forward(features)
-            # Minimising advantage * (-log p) == maximising advantage * log p.
-            gradients.add(self._policy.backward(forward, decisions, scale=advantage))
+        # Minimising advantage * (-log p) == maximising advantage * log p.
+        advantages = shaped_rewards - self._baseline
+        gradients = self._policy.backward_batch(forward, decisions, scales=advantages)
         self._policy.apply_gradients(gradients, learning_rate=self._config.policy_learning_rate)
 
-        stats.mean_reward = sum(sample.reward for sample in samples) / len(samples)
+        stats.mean_reward = float(np.sum(rewards)) / len(samples)
         stats.mean_shaped_reward = batch_mean
-        stats.mean_kl = sum(kls) / len(kls)
+        stats.mean_kl = float(np.sum(kl_terms)) / len(samples)
         stats.baseline = self._baseline
         self.history.append(stats)
         return stats

@@ -66,6 +66,19 @@ class CandidateFeaturizer:
         )
         return np.concatenate([prompt_features, decisions, code_properties])
 
+    def featurize_batch(
+        self, prompt: GenerationPrompt, candidates: list[GenerationCandidate]
+    ) -> np.ndarray:
+        """Feature matrix ``(len(candidates), dimension)`` for one prompt's round.
+
+        The prompt encoding is computed once (cache-assisted) and shared
+        across rows; only the per-candidate decision one-hots and code
+        properties differ.
+        """
+        if not candidates:
+            return np.zeros((0, self.dimension), dtype=np.float64)
+        return np.stack([self.featurize(prompt, candidate) for candidate in candidates])
+
 
 @dataclass
 class RewardTrainingReport:
@@ -107,12 +120,27 @@ class RewardModel:
             )
         return float(self.weights @ features + self.bias)
 
+    def score_batch(self, features: np.ndarray) -> np.ndarray:
+        """Rewards for a whole ``(B, dimension)`` feature matrix at once."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.weights.shape[0]:
+            raise RewardModelError(
+                f"expected features of shape (B, {self.weights.shape[0]}), got {features.shape}"
+            )
+        return features @ self.weights + self.bias
+
     def preference_probability(self, chosen: np.ndarray, rejected: np.ndarray) -> float:
         """Modelled probability that ``chosen`` is preferred over ``rejected``."""
         return _sigmoid(self.score(chosen) - self.score(rejected))
 
     def fit(self, dataset: PreferenceDataset, l2: float = 1e-3) -> RewardTrainingReport:
-        """Fit the model to a preference dataset with gradient ascent."""
+        """Fit the model to a preference dataset with gradient ascent.
+
+        Each epoch is one pass of matrix Bradley–Terry: the chosen-minus-
+        rejected difference matrix and margin vector are built once, and every
+        epoch costs two matvecs instead of a Python loop over pairs.  Matches
+        the per-pair loop to floating-point noise.
+        """
         report = RewardTrainingReport(pairs=len(dataset))
         if len(dataset) == 0:
             return report
@@ -121,22 +149,19 @@ class RewardModel:
                 f"dataset features have dimension {dataset.feature_dimension}, "
                 f"model expects {self.dimension}"
             )
+        differences = np.stack([pair.chosen_features - pair.rejected_features for pair in dataset])
+        margins = np.array([pair.margin for pair in dataset], dtype=np.float64)
         learning_rate = self._config.reward_learning_rate
+        count = len(dataset)
         for _epoch in range(self._config.reward_epochs):
-            gradient = np.zeros_like(self.weights)
-            bias_gradient = 0.0
-            loss = 0.0
-            for pair in dataset:
-                difference = pair.chosen_features - pair.rejected_features
-                margin_logit = self.weights @ difference
-                probability = _sigmoid(margin_logit)
-                loss += -np.log(probability + 1e-12) * pair.margin
-                gradient += (probability - 1.0) * difference * pair.margin
-                bias_gradient += 0.0  # bias cancels in pairwise differences
-            gradient = gradient / len(dataset) + l2 * self.weights
+            margin_logits = differences @ self.weights
+            probabilities = _sigmoid(margin_logits)
+            loss = float(np.sum(-np.log(probabilities + 1e-12) * margins))
+            gradient = differences.T @ ((probabilities - 1.0) * margins)
+            gradient = gradient / count + l2 * self.weights
             self.weights -= learning_rate * gradient
-            self.bias -= learning_rate * bias_gradient
-            report.losses.append(float(loss / len(dataset)))
+            # The bias cancels in pairwise differences and stays untouched.
+            report.losses.append(loss / count)
         report.pairwise_accuracy = self.pairwise_accuracy(dataset)
         self.trained = True
         return report
@@ -145,10 +170,9 @@ class RewardModel:
         """Fraction of comparisons the model currently orders correctly."""
         if len(dataset) == 0:
             return 0.0
-        correct = sum(
-            1 for pair in dataset if self.score(pair.chosen_features) > self.score(pair.rejected_features)
-        )
-        return correct / len(dataset)
+        chosen = self.score_batch(np.stack([pair.chosen_features for pair in dataset]))
+        rejected = self.score_batch(np.stack([pair.rejected_features for pair in dataset]))
+        return int(np.sum(chosen > rejected)) / len(dataset)
 
     def state_dict(self) -> dict:
         return {"weights": self.weights.copy(), "bias": self.bias, "trained": self.trained}

@@ -140,13 +140,14 @@ class RLHFTrainer:
 
         Alignment is ``1 - decision_distance`` between the greedy generation and
         each tester's hidden expectation, averaged over prompts and testers.
+        All greedy generations come from one batched forward pass.
         """
         if not prompts:
             return 0.0
+        candidates = self._generator.generate_batch(prompts, greedy=True)
         total = 0.0
         count = 0
-        for prompt in prompts:
-            candidate = self._generator.generate(prompt, greedy=True)
+        for prompt, candidate in zip(prompts, candidates):
             for tester in self._testers:
                 expected = tester.expectation(prompt.spec)
                 total += 1.0 - decision_distance(candidate.decisions, expected)
@@ -162,11 +163,12 @@ class RLHFTrainer:
         reviewed = 0
         samples: list[RewardedSample] = []
 
-        for prompt_index, prompt in enumerate(prompts):
+        # One batched forward pass proposes every prompt's candidate round.
+        candidate_rounds = self._generator.candidates_batch(
+            prompts, count=self._config.candidates_per_iteration, iteration=iteration
+        )
+        for prompt_index, (prompt, candidates) in enumerate(zip(prompts, candidate_rounds)):
             tester = self._testers[prompt_index % len(self._testers)]
-            candidates = self._generator.candidates(
-                prompt, count=self._config.candidates_per_iteration, iteration=iteration
-            )
             # One review call scores the whole round; with an execution runner
             # attached, the candidates run as a single pooled sandbox batch.
             reviews = tester.review_batch(
@@ -189,19 +191,16 @@ class RLHFTrainer:
 
         reward_report = self.reward_model.fit(self.preferences)
 
-        for prompt_index, prompt in enumerate(prompts):
-            candidates = self._generator.candidates(
-                prompt, count=self._config.candidates_per_iteration, iteration=iteration
+        sampled_rounds = self._generator.candidates_batch(
+            prompts, count=self._config.candidates_per_iteration, iteration=iteration
+        )
+        for prompt, candidates in zip(prompts, sampled_rounds):
+            features = self._featurizer.featurize_batch(prompt, candidates)
+            rewards = self.reward_model.score_batch(features)
+            samples.extend(
+                RewardedSample(prompt=prompt, decisions=candidate.decisions, reward=float(reward))
+                for candidate, reward in zip(candidates, rewards)
             )
-            for candidate in candidates:
-                features = self._featurizer.featurize(prompt, candidate)
-                samples.append(
-                    RewardedSample(
-                        prompt=prompt,
-                        decisions=candidate.decisions,
-                        reward=self.reward_model.score(features),
-                    )
-                )
         update_stats = self.optimizer.update(samples)
 
         return RLHFIterationStats(
