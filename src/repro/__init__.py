@@ -4,6 +4,9 @@ A reproduction of Cotroneo & Liguori, *"Neural Fault Injection: Generating
 Software Faults from Natural Language"* (DSN 2024).  The library implements the
 complete methodology the paper envisions, on top of fully offline substrates:
 
+* :mod:`repro.api` — the typed serving surface: request/response dataclasses,
+  the :class:`FaultInjectionEngine` façade, and the continuous-batching
+  scheduler (see docs/API.md);
 * :mod:`repro.core` — the end-to-end pipeline, refinement sessions, campaigns;
 * :mod:`repro.nlp` — the NLP engine (tokenisation, NER, spec extraction, code
   analysis, prompt construction);
@@ -21,21 +24,34 @@ complete methodology the paper envisions, on top of fully offline substrates:
 
 Quickstart::
 
-    from repro import NeuralFaultInjector
+    from repro import FaultInjectionEngine, GenerateRequest
 
-    injector = NeuralFaultInjector()
-    injector.prepare()                      # SFI dataset generation + SFT
-    fault = injector.inject(
-        "Simulate a scenario where a database transaction fails due to a "
-        "timeout, causing an unhandled exception within the "
-        "process_transaction function.",
-        code=open("my_module.py").read(),
-    )
-    print(fault.code)
+    with FaultInjectionEngine() as engine:
+        response = engine.run(
+            GenerateRequest(
+                description="Simulate a scenario where a database transaction "
+                "fails due to a timeout, causing an unhandled exception within "
+                "the process_transaction function.",
+                code=open("my_module.py").read(),
+            )
+        )
+        print(response.payload.fault.code)
+
+The original blocking façade (:class:`NeuralFaultInjector`) is kept as a thin
+adapter over the engine — see docs/API.md for the migration guide.
 """
 
+from .api import (
+    CampaignRequest,
+    DatasetRequest,
+    FaultInjectionEngine,
+    GenerateRequest,
+    Response,
+    RLHFRequest,
+)
 from .config import (
     DatasetConfig,
+    EngineConfig,
     ExecutionConfig,
     IntegrationConfig,
     ModelConfig,
@@ -68,10 +84,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CampaignOrchestrator",
+    "CampaignRequest",
     "ComparisonResult",
     "DatasetConfig",
+    "DatasetRequest",
+    "EngineConfig",
     "ExecutionConfig",
     "FailureMode",
+    "FaultInjectionEngine",
+    "GenerateRequest",
+    "RLHFRequest",
+    "Response",
     "FaultDescription",
     "FaultSpec",
     "FaultType",

@@ -1,0 +1,274 @@
+"""Typed, validated request objects for the fault-injection service layer.
+
+Each request is a frozen dataclass that validates itself at construction time,
+so malformed requests fail at the client boundary — before they ever reach the
+scheduler — with a :class:`~repro.errors.RequestError` naming the offending
+field.  The four request kinds map onto the paper's workloads:
+
+* :class:`GenerateRequest` — one Fig. 1 pass: description → spec → faulty
+  code, optionally integrated and tested against a target;
+* :class:`DatasetRequest` — an SFI dataset sweep (Section IV-1), optionally
+  followed by supervised fine-tuning;
+* :class:`CampaignRequest` — the neural-vs-baselines comparison campaign
+  (Section V) over one target;
+* :class:`RLHFRequest` — the iterative tester-feedback loop (Section III-B.3).
+
+Requests are immutable and hashable, so they can be logged, retried, and
+de-duplicated safely by serving frontends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any
+
+from ..config import EXECUTION_MODES
+from ..errors import RequestError
+from ..targets import target_names
+from ..targets.registry import TARGET_REGISTRY
+
+#: Campaign techniques understood by :class:`CampaignRequest`.
+CAMPAIGN_TECHNIQUES = ("neural", "predefined-model", "random")
+
+
+def _require_target(name: str, field_name: str = "target") -> None:
+    if name not in TARGET_REGISTRY:
+        raise RequestError(
+            f"{field_name}: unknown target system {name!r}; available: {target_names()}"
+        )
+
+
+def _require_mode(mode: str | None) -> None:
+    if mode is not None and mode not in EXECUTION_MODES:
+        raise RequestError(f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
+
+
+def _require_request_id(request_id: str | None) -> None:
+    if request_id is not None and (not isinstance(request_id, str) or not request_id.strip()):
+        raise RequestError("request_id must be a non-empty string when set")
+
+
+def _as_tuple(value) -> tuple:
+    if value is None:
+        return ()
+    if isinstance(value, (str, bytes)):
+        raise RequestError("expected a sequence of strings, got a bare string")
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class GenerateRequest:
+    """Generate one faulty code snippet from a natural-language description.
+
+    Attributes:
+        description: The tester's natural-language fault description.
+        target: Registered target-system name.  When set and ``code`` is not,
+            the target's source is used as the code context; required when
+            ``execute`` is set.
+        code: Explicit target source code (overrides the target's source).
+        greedy: Argmax decoding when true; sampling otherwise.
+        temperature: Sampling temperature (sampled requests only).
+        top_k: Top-k truncation (sampled requests only).
+        top_p: Nucleus truncation (sampled requests only).
+        seed: Per-request decode seed for sampled requests.  Grouping never
+            changes a request's sample stream: results are identical to
+            running the request alone through a fresh pipeline configured
+            with this seed.  Defaults to the engine's pipeline seed.
+        execute: Integrate the fault into ``target`` and run its workload.
+        mode: Sandbox execution mode for ``execute``; defaults to the
+            engine's execution config (``inprocess`` promoted to
+            ``subprocess`` — generated faults are untrusted).
+        request_id: Optional caller-chosen id echoed in the response
+            envelope; assigned by the engine when omitted.
+    """
+
+    description: str
+    target: str | None = None
+    code: str | None = None
+    greedy: bool = True
+    temperature: float | None = None
+    top_k: int | None = None
+    top_p: float | None = None
+    seed: int | None = None
+    execute: bool = False
+    mode: str | None = None
+    request_id: str | None = None
+
+    kind = "generate"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.description, str) or not self.description.strip():
+            raise RequestError("description must be a non-empty string")
+        if self.target is not None:
+            _require_target(self.target)
+        if self.execute and self.target is None:
+            raise RequestError("execute=True requires a target system")
+        if self.greedy and (
+            self.temperature is not None or self.top_k is not None or self.top_p is not None
+        ):
+            raise RequestError(
+                "conflicting decode parameters: temperature/top_k/top_p require greedy=False"
+            )
+        if self.temperature is not None and self.temperature <= 0:
+            raise RequestError("temperature must be positive when set")
+        if self.top_k is not None and self.top_k <= 0:
+            raise RequestError("top_k must be positive when set")
+        if self.top_p is not None and not (0.0 < self.top_p <= 1.0):
+            raise RequestError("top_p must be in (0, 1] when set")
+        _require_mode(self.mode)
+        _require_request_id(self.request_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view of the request (used by logs and the CLI)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class DatasetRequest:
+    """Generate an SFI fine-tuning dataset (optionally training the policy).
+
+    Attributes:
+        targets: Registered target names to sweep; empty/None sweeps every
+            built-in target.
+        samples_per_target: Override of ``DatasetConfig.samples_per_target``.
+        validate_candidates: Override of ``DatasetConfig.validate_candidates``.
+        run_sft: Fine-tune the engine's policy on the generated dataset
+            (the :meth:`NeuralFaultInjector.prepare` behaviour).
+        jsonl_path: Stream records to this JSONL file instead of keeping the
+            dataset in memory.
+        request_id: Optional caller-chosen id echoed in the response.
+    """
+
+    targets: tuple[str, ...] = ()
+    samples_per_target: int | None = None
+    validate_candidates: bool | None = None
+    run_sft: bool = False
+    jsonl_path: str | None = None
+    request_id: str | None = None
+
+    kind = "dataset"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "targets", _as_tuple(self.targets))
+        for name in self.targets:
+            _require_target(name, field_name="targets")
+        if self.samples_per_target is not None and self.samples_per_target <= 0:
+            raise RequestError("samples_per_target must be positive when set")
+        if self.run_sft and self.jsonl_path is not None:
+            raise RequestError(
+                "run_sft requires an in-memory dataset; drop jsonl_path (or fine-tune separately)"
+            )
+        _require_request_id(self.request_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view of the request (used by logs and the CLI)."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["targets"] = list(self.targets)
+        return data
+
+
+@dataclass(frozen=True)
+class CampaignRequest:
+    """Run the neural-vs-baselines comparison campaign over one target.
+
+    Attributes:
+        target: Registered target-system name the campaign runs against.
+        scenarios: Tester scenario descriptions (processed by the NLP engine
+            once and shared across techniques).
+        techniques: Which techniques to run; subset of
+            ``("neural", "predefined-model", "random")``.
+        budget: Fault budget for the baseline techniques; defaults to twice
+            the scenario count.
+        mode: Sandbox execution mode; defaults to the engine's execution
+            config.
+        request_id: Optional caller-chosen id echoed in the response.
+    """
+
+    target: str = ""
+    scenarios: tuple[str, ...] = ()
+    techniques: tuple[str, ...] = CAMPAIGN_TECHNIQUES
+    budget: int | None = None
+    mode: str | None = None
+    request_id: str | None = None
+
+    kind = "campaign"
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise RequestError("target is required for a campaign")
+        _require_target(self.target)
+        object.__setattr__(self, "scenarios", _as_tuple(self.scenarios))
+        object.__setattr__(self, "techniques", _as_tuple(self.techniques))
+        if not self.scenarios or any(not s.strip() for s in self.scenarios):
+            raise RequestError("scenarios must be a non-empty list of non-blank descriptions")
+        if not self.techniques:
+            raise RequestError("at least one technique is required")
+        unknown = [t for t in self.techniques if t not in CAMPAIGN_TECHNIQUES]
+        if unknown:
+            raise RequestError(
+                f"unknown techniques {unknown}; available: {list(CAMPAIGN_TECHNIQUES)}"
+            )
+        if self.budget is not None and self.budget <= 0:
+            raise RequestError("budget must be positive when set")
+        _require_mode(self.mode)
+        _require_request_id(self.request_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view of the request (used by logs and the CLI)."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["scenarios"] = list(self.scenarios)
+        data["techniques"] = list(self.techniques)
+        return data
+
+
+@dataclass(frozen=True)
+class RLHFRequest:
+    """Run the RLHF refinement loop over a set of fault descriptions.
+
+    Attributes:
+        descriptions: Fault descriptions turned into generation prompts by
+            the NLP engine.
+        target: Optional target; when set, every candidate round is executed
+            against it as one sandbox batch and the evidence feeds the
+            simulated testers' ratings.
+        code: Explicit code context for the prompts (defaults to the
+            target's source when ``target`` is set).
+        iterations: Override of ``RLHFConfig.iterations``.
+        candidates_per_iteration: Override of
+            ``RLHFConfig.candidates_per_iteration``.
+        mode: Sandbox execution mode for candidate rounds.
+        request_id: Optional caller-chosen id echoed in the response.
+    """
+
+    descriptions: tuple[str, ...] = ()
+    target: str | None = None
+    code: str | None = None
+    iterations: int | None = None
+    candidates_per_iteration: int | None = None
+    mode: str | None = None
+    request_id: str | None = None
+
+    kind = "rlhf"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "descriptions", _as_tuple(self.descriptions))
+        if not self.descriptions or any(not d.strip() for d in self.descriptions):
+            raise RequestError("descriptions must be a non-empty list of non-blank strings")
+        if self.target is not None:
+            _require_target(self.target)
+        if self.iterations is not None and self.iterations <= 0:
+            raise RequestError("iterations must be positive when set")
+        if self.candidates_per_iteration is not None and self.candidates_per_iteration <= 0:
+            raise RequestError("candidates_per_iteration must be positive when set")
+        _require_mode(self.mode)
+        _require_request_id(self.request_id)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view of the request (used by logs and the CLI)."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["descriptions"] = list(self.descriptions)
+        return data
+
+
+#: Every typed request kind the engine accepts.
+Request = GenerateRequest | DatasetRequest | CampaignRequest | RLHFRequest

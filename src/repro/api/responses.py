@@ -1,0 +1,200 @@
+"""The versioned response envelope of the fault-injection service layer.
+
+Every request — whatever its kind and however it was submitted — resolves to
+one :class:`Response`: a stable envelope carrying the request id, a status, a
+typed payload, a structured error (never a raw traceback), and coarse serving
+timings.  ``schema_version`` lets clients detect envelope evolution.
+
+Payload float fields that derive from model arithmetic (log-probabilities)
+are rounded to ``1e-9`` in :meth:`to_dict` — the library's established
+numerical oracle tolerance — so envelopes are byte-stable across batched and
+solo execution (batched matmuls may differ from solo matvecs in the last
+float bit).  Wall-clock measurements (sandbox durations, envelope timings)
+are inherently non-deterministic and are documented as such in docs/API.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..llm.generator import GenerationCandidate
+from ..types import GeneratedFault, InjectionOutcome
+
+#: Version of the response envelope layout.
+SCHEMA_VERSION = "1.0"
+
+#: Decimal places used to quantize model-arithmetic floats in envelopes.
+_LOGPROB_DECIMALS = 9
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """A structured, client-safe error description."""
+
+    type: str
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view of the error."""
+        return {"type": self.type, "message": self.message}
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "ErrorInfo":
+        """Build an error record from a raised exception."""
+        return cls(type=type(exc).__name__, message=str(exc))
+
+
+@dataclass(frozen=True)
+class Timings:
+    """Coarse serving timings of one request (wall-clock, non-deterministic)."""
+
+    queued_seconds: float = 0.0
+    execution_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.queued_seconds + self.execution_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view of the timings (microsecond precision)."""
+        return {
+            "queued_seconds": round(self.queued_seconds, 6),
+            "execution_seconds": round(self.execution_seconds, 6),
+            "total_seconds": round(self.total_seconds, 6),
+        }
+
+
+@dataclass
+class GeneratePayload:
+    """Typed payload of a :class:`~repro.api.GenerateRequest`."""
+
+    fault: GeneratedFault
+    strategy: str
+    logprob: float
+    batch_size: int = 1
+    outcome: InjectionOutcome | None = None
+
+    @classmethod
+    def from_candidate(
+        cls,
+        candidate: GenerationCandidate,
+        outcome: InjectionOutcome | None = None,
+        batch_size: int = 1,
+    ) -> "GeneratePayload":
+        """Build the payload from a generation candidate (+ optional outcome).
+
+        Both the engine and the determinism tests build payloads through this
+        constructor, so "engine output equals solo pipeline output" is pinned
+        at the payload level.
+        """
+        return cls(
+            fault=candidate.fault,
+            strategy=candidate.fault.metadata.get("strategy", ""),
+            logprob=candidate.logprob,
+            batch_size=batch_size,
+            outcome=outcome,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able payload with model-arithmetic floats quantized to 1e-9.
+
+        ``batch_size`` (how many requests shared the forward pass) and the
+        outcome's measured ``duration_seconds`` are serving observations, not
+        part of the deterministic result; :meth:`deterministic_dict` excludes
+        them.
+        """
+        data = self.deterministic_dict()
+        data["batch_size"] = self.batch_size
+        if self.outcome is not None:
+            data["outcome"]["duration_seconds"] = self.outcome.duration_seconds
+        return data
+
+    def deterministic_dict(self) -> dict[str, Any]:
+        """The payload fields pinned byte-identical across solo/batched runs."""
+        fault = self.fault.to_dict()
+        fault["logprob"] = round(fault["logprob"], _LOGPROB_DECIMALS)
+        data: dict[str, Any] = {
+            "fault": fault,
+            "strategy": self.strategy,
+            "logprob": round(self.logprob, _LOGPROB_DECIMALS),
+            "outcome": None,
+        }
+        if self.outcome is not None:
+            outcome = self.outcome.to_dict()
+            outcome.pop("duration_seconds", None)
+            data["outcome"] = outcome
+        return data
+
+
+@dataclass
+class DatasetPayload:
+    """Typed payload of a :class:`~repro.api.DatasetRequest`."""
+
+    records: int
+    stats: dict[str, Any]
+    sft: dict[str, Any] | None = None
+    jsonl_path: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able payload (record counts and stats, not the records)."""
+        return {
+            "records": self.records,
+            "stats": dict(self.stats),
+            "sft": dict(self.sft) if self.sft is not None else None,
+            "jsonl_path": self.jsonl_path,
+        }
+
+
+@dataclass
+class CampaignPayload:
+    """Typed payload of a :class:`~repro.api.CampaignRequest`."""
+
+    target: str
+    techniques: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able payload: one comparison record per technique."""
+        return {"target": self.target, "techniques": {k: dict(v) for k, v in self.techniques.items()}}
+
+
+@dataclass
+class RLHFPayload:
+    """Typed payload of an :class:`~repro.api.RLHFRequest`."""
+
+    report: dict[str, Any]
+    prompts: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able payload: the RLHF history plus the prompt count."""
+        return {"report": dict(self.report), "prompts": self.prompts}
+
+
+@dataclass
+class Response:
+    """The versioned envelope every request resolves to."""
+
+    request_id: str
+    kind: str
+    status: str
+    payload: GeneratePayload | DatasetPayload | CampaignPayload | RLHFPayload | None = None
+    error: ErrorInfo | None = None
+    timings: Timings = field(default_factory=Timings)
+    schema_version: str = SCHEMA_VERSION
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request succeeded."""
+        return self.status == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view of the whole envelope."""
+        return {
+            "schema_version": self.schema_version,
+            "request_id": self.request_id,
+            "kind": self.kind,
+            "status": self.status,
+            "payload": self.payload.to_dict() if self.payload is not None else None,
+            "error": self.error.to_dict() if self.error is not None else None,
+            "timings": self.timings.to_dict(),
+        }

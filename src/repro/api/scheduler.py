@@ -1,0 +1,245 @@
+"""Continuous batching of concurrent service requests.
+
+The :class:`Scheduler` is the serving loop between the typed request API and
+the batched substrates built in PRs 1-3.  Clients submit requests from any
+thread and immediately receive a :class:`ResponseHandle`; a single dispatch
+thread drains the queue and coalesces work, in the style of continuous
+batching in LLM serving engines (sglang-like):
+
+* requests are dispatched strictly FIFO, so results are reproducible and no
+  request can starve;
+* a contiguous run of :class:`~repro.api.GenerateRequest` tickets at the head
+  of the queue is grouped into ONE model batch — a single
+  ``forward_batch``-backed generation pass — up to
+  ``EngineConfig.max_batch_size`` tickets, waiting at most
+  ``EngineConfig.max_queue_delay_seconds`` after dispatch starts so
+  concurrent clients can coalesce;
+* within a batch, requests that ask for execution are grouped by target and
+  run as pooled sandbox batches (``run_many``/``run_batch``), which is where
+  the order-of-magnitude serving win comes from;
+* dataset / campaign / RLHF tickets are heavyweight and run alone, in queue
+  order.
+
+Batching never changes results: greedy decoding is batch-invariant, sampled
+requests decode from per-request seeded streams, and payload envelopes
+quantize model-arithmetic floats to the library's 1e-9 oracle tolerance (see
+:mod:`repro.api.responses`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import EngineClosedError
+from .requests import GenerateRequest, Request
+from .responses import ErrorInfo, Response
+
+
+class ResponseHandle:
+    """An asynchronous handle to one submitted request."""
+
+    def __init__(self, request_id: str, kind: str) -> None:
+        self.request_id = request_id
+        self.kind = kind
+        self._future: "Future[Response]" = Future()
+
+    def done(self) -> bool:
+        """Whether the response is available."""
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> Response:
+        """Block until the response envelope is available and return it."""
+        return self._future.result(timeout=timeout)
+
+    def add_done_callback(self, callback: Callable[["ResponseHandle"], None]) -> None:
+        """Invoke ``callback(handle)`` once the response is available."""
+        self._future.add_done_callback(lambda _future: callback(self))
+
+    def _resolve(self, response: Response) -> None:
+        self._future.set_result(response)
+
+
+@dataclass
+class Ticket:
+    """One queued request together with its delivery handle."""
+
+    request: Request
+    handle: ResponseHandle
+    submitted_at: float = field(default_factory=time.monotonic)
+
+
+#: Most recent per-batch records retained by :class:`SchedulerStats`.
+STATS_BATCH_WINDOW = 256
+
+
+@dataclass
+class SchedulerStats:
+    """Observable batching behaviour, for tests and the serving benchmark.
+
+    Aggregate counters cover the engine's whole lifetime; the per-batch
+    detail is a sliding window of the last :data:`STATS_BATCH_WINDOW`
+    dispatches, so a long-lived serving engine's stats stay O(1).
+    """
+
+    dispatched: int = 0
+    batch_count: int = 0
+    batches: deque = field(default_factory=lambda: deque(maxlen=STATS_BATCH_WINDOW))
+
+    def record(self, kind: str, size: int, targets: list[str]) -> None:
+        """Account one dispatch."""
+        self.dispatched += size
+        self.batch_count += 1
+        self.batches.append({"kind": kind, "size": size, "targets": targets})
+
+    @property
+    def batch_sizes(self) -> list[int]:
+        """Generate-batch sizes in dispatch order (recent window)."""
+        return [b["size"] for b in self.batches if b["kind"] == "generate"]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view of the stats (per-batch detail: recent window)."""
+        return {
+            "dispatched": self.dispatched,
+            "batch_count": self.batch_count,
+            "batches": [dict(b) for b in self.batches],
+        }
+
+
+class Scheduler:
+    """FIFO request queue with continuous batching of generate requests.
+
+    The scheduler does not know how to execute requests; the owning
+    :class:`~repro.api.FaultInjectionEngine` passes the two dispatch
+    callbacks.  The dispatch thread is started lazily on first submit and
+    torn down by :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        dispatch_batch: Callable[[list[Ticket]], None],
+        dispatch_single: Callable[[Ticket], None],
+        max_batch_size: int,
+        max_queue_delay_seconds: float,
+    ) -> None:
+        """Initialise the scheduler.
+
+        Args:
+            dispatch_batch: Callback executing a coalesced list of generate
+                tickets (it must resolve every ticket's handle).
+            dispatch_single: Callback executing one non-generate ticket.
+            max_batch_size: Most generate tickets coalesced per dispatch.
+            max_queue_delay_seconds: How long a dispatch waits for more
+                arrivals after the first ticket is picked up.
+        """
+        self._dispatch_batch = dispatch_batch
+        self._dispatch_single = dispatch_single
+        self._max_batch_size = max(1, int(max_batch_size))
+        self._max_queue_delay = max(0.0, float(max_queue_delay_seconds))
+        self._queue: deque[Ticket] = deque()
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self.stats = SchedulerStats()
+
+    # -- client side ----------------------------------------------------------------
+
+    def submit(self, ticket: Ticket) -> None:
+        """Enqueue a ticket (thread-safe); starts the dispatch thread lazily.
+
+        Raises:
+            EngineClosedError: If the scheduler has been closed.
+        """
+        with self._cond:
+            if self._closed:
+                raise EngineClosedError("scheduler is closed; no further requests are accepted")
+            self._queue.append(ticket)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._loop, name="repro-scheduler", daemon=True
+                )
+                self._thread.start()
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Drain the queue, stop the dispatch thread, and reject new submits.
+
+        Already-queued tickets are still executed (close is graceful), so
+        every handle obtained before ``close`` resolves.  Idempotent.
+        """
+        with self._cond:
+            if self._closed:
+                thread = self._thread
+            else:
+                self._closed = True
+                thread = self._thread
+                self._cond.notify_all()
+        if thread is not None and thread is not threading.current_thread():
+            thread.join()
+
+    # -- dispatch loop ---------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return
+                head = self._queue.popleft()
+            if isinstance(head.request, GenerateRequest):
+                batch = self._collect(head)
+                self.stats.record(
+                    "generate", len(batch), sorted({t.request.target or "" for t in batch})
+                )
+                self._dispatch(self._dispatch_batch, batch)
+            else:
+                self.stats.record(head.request.kind, 1, [])
+                self._dispatch(lambda tickets: self._dispatch_single(tickets[0]), [head])
+
+    def _dispatch(self, callback: Callable[[list[Ticket]], None], tickets: list[Ticket]) -> None:
+        """Run a dispatch callback, resolving stranded handles on failure.
+
+        Expected errors are turned into error envelopes inside the engine's
+        callbacks; this is the last line of defence so an unexpected
+        exception can never kill the dispatch thread or leave a client
+        blocked on an unresolved handle forever.
+        """
+        try:
+            callback(tickets)
+        except Exception as exc:  # noqa: BLE001 - serving loop must survive anything
+            for ticket in tickets:
+                if not ticket.handle.done():
+                    ticket.handle._resolve(
+                        Response(
+                            request_id=ticket.handle.request_id,
+                            kind=ticket.request.kind,
+                            status="error",
+                            error=ErrorInfo.from_exception(exc),
+                        )
+                    )
+
+    def _collect(self, head: Ticket) -> list[Ticket]:
+        """Coalesce a contiguous run of generate tickets behind ``head``.
+
+        Collection stops at ``max_batch_size`` tickets, when the coalescing
+        window expires with an empty queue, or when a non-generate ticket
+        reaches the head of the queue (FIFO is never violated).
+        """
+        batch = [head]
+        deadline = time.monotonic() + self._max_queue_delay
+        while len(batch) < self._max_batch_size:
+            with self._cond:
+                remaining = deadline - time.monotonic()
+                while not self._queue and remaining > 0 and not self._closed:
+                    self._cond.wait(remaining)
+                    remaining = deadline - time.monotonic()
+                if self._queue and isinstance(self._queue[0].request, GenerateRequest):
+                    batch.append(self._queue.popleft())
+                    continue
+                break
+        return batch

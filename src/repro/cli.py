@@ -1,0 +1,173 @@
+"""Command-line interface over the typed service layer.
+
+``python -m repro <command>`` builds a typed request, runs it through a
+:class:`~repro.api.FaultInjectionEngine`, and prints either a human-readable
+summary or — with ``--json`` — the full versioned response envelope, so the
+CLI speaks exactly the same contract as library clients:
+
+* ``python -m repro generate --target bank --description "..."``
+* ``python -m repro dataset --target bank --samples 5``
+* ``python -m repro campaign --target bank --scenario "..." --scenario "..."``
+
+See docs/API.md for the request/response reference and
+``examples/serving_engine.py`` for the library-level equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import os
+import sys
+from typing import Iterator, Sequence
+
+from .api import CampaignRequest, DatasetRequest, FaultInjectionEngine, GenerateRequest, Response
+from .config import PipelineConfig
+from .errors import ReproError
+from .targets import target_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Neural fault injection: generate software faults from natural language.",
+    )
+    shared = argparse.ArgumentParser(add_help=False)
+    shared.add_argument("--seed", type=int, default=None, help="pipeline seed override")
+    shared.add_argument("--json", action="store_true", help="print the full response envelope as JSON")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", parents=[shared], help="generate one faulty code snippet")
+    generate.add_argument("--description", required=True, help="natural-language fault description")
+    generate.add_argument("--target", choices=target_names(), default=None, help="target system")
+    generate.add_argument("--code-file", default=None, help="file with explicit target code")
+    generate.add_argument("--sample", action="store_true", help="sample instead of greedy decoding")
+    generate.add_argument("--temperature", type=float, default=None, help="sampling temperature")
+    generate.add_argument("--request-seed", type=int, default=None, help="per-request decode seed")
+    generate.add_argument("--execute", action="store_true", help="integrate and test against the target")
+    generate.add_argument("--mode", default=None, help="sandbox mode: inprocess|subprocess|pool")
+
+    dataset = commands.add_parser("dataset", parents=[shared], help="generate an SFI fine-tuning dataset")
+    dataset.add_argument("--target", action="append", default=None, help="target name (repeatable)")
+    dataset.add_argument("--samples", type=int, default=None, help="samples per target")
+    dataset.add_argument("--validate", action="store_true", help="validate candidates in the sandbox")
+    dataset.add_argument("--jsonl", default=None, help="stream records to this JSONL file")
+
+    campaign = commands.add_parser("campaign", parents=[shared], help="run the neural-vs-baselines comparison")
+    campaign.add_argument("--target", required=True, help="target system the campaign runs against")
+    campaign.add_argument("--scenario", action="append", required=True, help="scenario text (repeatable)")
+    campaign.add_argument("--technique", action="append", default=None, help="technique (repeatable)")
+    campaign.add_argument("--budget", type=int, default=None, help="baseline fault budget")
+    campaign.add_argument("--mode", default=None, help="sandbox mode: inprocess|subprocess|pool")
+    return parser
+
+
+def _request_from_args(args: argparse.Namespace):
+    if args.command == "generate":
+        code = None
+        if args.code_file:
+            with open(args.code_file, "r", encoding="utf-8") as stream:
+                code = stream.read()
+        return GenerateRequest(
+            description=args.description,
+            target=args.target,
+            code=code,
+            greedy=not args.sample,
+            temperature=args.temperature,
+            seed=args.request_seed,
+            execute=args.execute,
+            mode=args.mode,
+        )
+    if args.command == "dataset":
+        return DatasetRequest(
+            targets=tuple(args.target or ()),
+            samples_per_target=args.samples,
+            validate_candidates=True if args.validate else None,
+            jsonl_path=args.jsonl,
+        )
+    return CampaignRequest(
+        target=args.target,
+        scenarios=tuple(args.scenario),
+        techniques=tuple(args.technique) if args.technique else ("neural", "predefined-model", "random"),
+        budget=args.budget,
+        mode=args.mode,
+    )
+
+
+def _summarize(response: Response) -> str:
+    if not response.ok:
+        return f"[{response.request_id}] ERROR {response.error.type}: {response.error.message}"
+    payload = response.payload
+    if response.kind == "generate":
+        lines = [
+            f"[{response.request_id}] fault {payload.fault.fault_id} "
+            f"(template={payload.fault.actions.get('template')}, strategy={payload.strategy})",
+            payload.fault.code.rstrip("\n"),
+        ]
+        if payload.outcome is not None:
+            lines.append(
+                f"outcome: {payload.outcome.failure_mode.value} "
+                f"(activated={payload.outcome.activated})"
+            )
+        return "\n".join(lines)
+    if response.kind == "dataset":
+        destination = f" -> {payload.jsonl_path}" if payload.jsonl_path else ""
+        return f"[{response.request_id}] {payload.records} records{destination}"
+    rows = [f"[{response.request_id}] campaign on {payload.target}"]
+    for name, result in payload.techniques.items():
+        effectiveness = result["effectiveness"]
+        rows.append(
+            f"  {name}: exposure={effectiveness['failure_exposure_rate']:.3f} "
+            f"effort={result['effort_minutes']:.1f}min"
+        )
+    return "\n".join(rows)
+
+
+@contextlib.contextmanager
+def _stdout_reserved_for_payload() -> Iterator[None]:
+    """Route fd 1 to stderr while the engine works, so ``--json`` stays pure.
+
+    Sandboxed workloads (in-process runs, forked pool workers) print straight
+    to the inherited stdout; redirecting the file descriptor — not just
+    ``sys.stdout`` — keeps those prints visible on stderr while reserving
+    stdout for the single JSON envelope.
+    """
+    sys.stdout.flush()
+    saved = os.dup(1)
+    try:
+        os.dup2(2, 1)
+        yield
+    finally:
+        sys.stdout.flush()
+        os.dup2(saved, 1)
+        os.close(saved)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = PipelineConfig(seed=args.seed) if args.seed is not None else PipelineConfig()
+    try:
+        request = _request_from_args(args)
+    except ReproError as exc:
+        print(f"invalid request: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        with _stdout_reserved_for_payload():
+            with FaultInjectionEngine(config) as engine:
+                response = engine.run(request)
+    else:
+        with FaultInjectionEngine(config) as engine:
+            response = engine.run(request)
+    if args.json:
+        print(json.dumps(response.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(_summarize(response))
+    return 0 if response.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

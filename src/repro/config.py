@@ -201,6 +201,39 @@ class DatasetConfig:
 
 
 @dataclass
+class EngineConfig:
+    """Serving behaviour of the :class:`~repro.api.FaultInjectionEngine`.
+
+    The engine's continuous-batching scheduler drains up to ``max_batch_size``
+    queued :class:`~repro.api.GenerateRequest` objects per dispatch (``None``
+    defers to ``ExecutionConfig.batch_size``), waiting at most
+    ``max_queue_delay_seconds`` after the first request arrives so concurrent
+    clients coalesce into one batched forward pass.  ``extract_cache_size``
+    bounds the description-hash LRU cache of the shared
+    :class:`~repro.nlp.FaultSpecExtractor` (``0`` disables it).
+    """
+
+    max_batch_size: int | None = None
+    max_queue_delay_seconds: float = 0.002
+    extract_cache_size: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size is not None and self.max_batch_size <= 0:
+            raise ConfigurationError("max_batch_size must be positive when set")
+        if self.max_queue_delay_seconds < 0:
+            raise ConfigurationError("max_queue_delay_seconds must be non-negative")
+        if self.extract_cache_size < 0:
+            raise ConfigurationError("extract_cache_size must be non-negative (0 disables)")
+
+    def resolved_batch_size(self, execution: "ExecutionConfig") -> int:
+        """The scheduler batch bound actually used for one dispatch."""
+        return self.max_batch_size if self.max_batch_size is not None else execution.batch_size
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
 class PipelineConfig:
     """Top-level configuration for the end-to-end pipeline (Fig. 1)."""
 
@@ -210,6 +243,7 @@ class PipelineConfig:
     integration: IntegrationConfig = field(default_factory=IntegrationConfig)
     dataset: DatasetConfig = field(default_factory=DatasetConfig)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
     max_refinement_iterations: int = 5
     use_code_context: bool = True
     seed: int = 23
@@ -226,6 +260,7 @@ class PipelineConfig:
             "integration": self.integration.to_dict(),
             "dataset": self.dataset.to_dict(),
             "execution": self.execution.to_dict(),
+            "engine": self.engine.to_dict(),
             "max_refinement_iterations": self.max_refinement_iterations,
             "use_code_context": self.use_code_context,
             "seed": self.seed,
@@ -247,6 +282,7 @@ class PipelineConfig:
             integration=build(IntegrationConfig, "integration"),
             dataset=build(DatasetConfig, "dataset"),
             execution=build(ExecutionConfig, "execution"),
+            engine=build(EngineConfig, "engine"),
             max_refinement_iterations=int(data.get("max_refinement_iterations", 5)),
             use_code_context=bool(data.get("use_code_context", True)),
             seed=int(data.get("seed", 23)),

@@ -5,10 +5,11 @@ target system with the neural pipeline, and runs the conventional baselines
 against the same target, producing the coverage / effectiveness / efficiency
 comparison the paper promises as future validation (Section V).
 
-Fault *generation* stays serial (the policy network is stateful and cheap);
-fault *execution* — the expensive sandbox runs — is submitted as one batch per
-technique through :meth:`~repro.integration.ExperimentRunner.run_many`, so
-independent experiments run concurrently while reports keep the deterministic,
+Fault *generation* runs as one batched forward pass per technique
+(:meth:`~repro.api.FaultInjectionEngine.generate_faults`); fault *execution* —
+the expensive sandbox runs — is submitted as one batch per technique through
+:meth:`~repro.integration.ExperimentRunner.run_many`, so independent
+experiments run concurrently while reports keep the deterministic,
 seed-stable ordering of the serial path.
 """
 
@@ -17,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from ..api.engine import FaultInjectionEngine
 from ..baselines import ManualEffortModel, PredefinedModelInjector, RandomInjector
 from ..baselines.predefined import PREDEFINED_FAULT_TYPES
 from ..eval import (
@@ -87,11 +89,18 @@ class ComparisonResult:
 
 
 class CampaignOrchestrator:
-    """Runs neural and baseline campaigns over one target system."""
+    """Runs neural and baseline campaigns over one target system.
+
+    A thin adapter over :class:`~repro.api.FaultInjectionEngine`: it accepts
+    either an engine or the legacy :class:`NeuralFaultInjector` façade (whose
+    engine it unwraps), and drives campaigns through the engine's shared
+    stack — NLP caches, batched generation, and pooled per-target runners.
+    :class:`~repro.api.CampaignRequest` submitted to an engine routes here.
+    """
 
     def __init__(
         self,
-        pipeline: NeuralFaultInjector,
+        pipeline: NeuralFaultInjector | FaultInjectionEngine,
         target: TargetSystem | str,
         mode: str | None = None,
     ) -> None:
@@ -100,6 +109,13 @@ class CampaignOrchestrator:
         self.mode = mode if mode is not None else pipeline.config.execution.default_mode
         self._effort_model = ManualEffortModel()
         self._baseline_runner_cache: ExperimentRunner | None = None
+
+    @property
+    def engine(self) -> FaultInjectionEngine:
+        """The engine whose shared stack the campaign drives."""
+        if isinstance(self.pipeline, NeuralFaultInjector):
+            return self.pipeline.engine
+        return self.pipeline
 
     # -- scenario definition ------------------------------------------------------------
 
@@ -124,15 +140,11 @@ class CampaignOrchestrator:
         """Run every scenario through the neural pipeline and test the results."""
         runner = self.pipeline._runner_for(self.target)
         defined = defined if defined is not None else self.define_scenarios(scenarios)
-        specs: list[FaultSpec] = []
-        templates: list[str] = []
-        faults = []
-        for spec, context in defined:
-            prompt = self.pipeline.build_prompt(spec, context)
-            candidate = self.pipeline.generate_fault(prompt)
-            specs.append(spec)
-            templates.append(candidate.decisions.template)
-            faults.append(candidate.fault)
+        prompts = [self.pipeline.build_prompt(spec, context) for spec, context in defined]
+        candidates = self.pipeline.generate_faults(prompts)
+        specs: list[FaultSpec] = [spec for spec, _context in defined]
+        templates = [candidate.decisions.template for candidate in candidates]
+        faults = [candidate.fault for candidate in candidates]
         batch = runner.run_many(faults, mode=self.mode)
         campaign = CampaignReport(name=f"neural-{self.target.name}")
         campaign.add_batch(batch)

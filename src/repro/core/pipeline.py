@@ -1,8 +1,12 @@
 """The end-to-end neural fault injection pipeline (Fig. 1 of the paper).
 
-:class:`NeuralFaultInjector` is the library's main entry point.  It wires the
-NLP engine, the generation model, the RLHF mechanism, and the automated
-integration and testing tool into the workflow the paper describes:
+:class:`NeuralFaultInjector` is the library's original, blocking entry point.
+As of the service-layer redesign it is a **thin adapter** over
+:class:`~repro.api.FaultInjectionEngine`: the engine owns the shared component
+stack (NLP extractor and its caches, generation model, dataset generator,
+sandbox runners), and every method here simply delegates.  The class is kept —
+fully tested — for backwards compatibility and for scripts that want the
+imperative stage-by-stage workflow:
 
 1. *fault definition* — the tester supplies natural language plus target code;
 2. *data processing* — the NLP engine builds a structured fault specification;
@@ -10,60 +14,124 @@ integration and testing tool into the workflow the paper describes:
 4. *RLHF* — tester feedback refines the snippet over one or more iterations;
 5. *automated integration* — the snippet is spliced into the codebase;
 6. *testing* — the workload runs and the failure mode is observed.
+
+Deprecated for serving: concurrent clients should use the engine's typed
+request API (``submit``/``run``/``run_many``/``stream``), which batches
+concurrent work through the continuous-batching scheduler — see docs/API.md
+for the migration guide.  Both façades can be mixed freely on one engine::
+
+    engine = FaultInjectionEngine(config)
+    legacy = NeuralFaultInjector(engine=engine)   # same stack, old surface
 """
 
 from __future__ import annotations
 
-import time
-from typing import Callable
-
+from ..api.engine import FaultInjectionEngine, FeedbackProvider
 from ..config import PipelineConfig
 from ..dataset import DatasetGenerator, FaultDataset
-from ..errors import ReproError
 from ..integration import ExperimentRecord, ExperimentRunner
 from ..llm import FaultGenerator, GenerationCandidate, SFTReport, SFTTrainer
 from ..nlp import CodeAnalyzer, FaultSpecExtractor, GenerationPrompt, PromptBuilder
-from ..rlhf import FeedbackParser, RLHFReport, RLHFTrainer, SimulatedTester, spec_with_feedback, tester_pool
-from ..rng import SeededRNG
-from ..targets import TargetSystem, all_targets, get_target
-from ..types import CodeContext, FaultDescription, FaultSpec, GeneratedFault
+from ..rlhf import FeedbackParser, RLHFReport, SimulatedTester
+from ..targets import TargetSystem
+from ..types import CodeContext, FaultSpec, GeneratedFault
 from .results import WorkflowTrace
 
-FeedbackProvider = Callable[[FaultSpec, GenerationCandidate], str | None]
+__all__ = ["FeedbackProvider", "NeuralFaultInjector"]
 
 
 class NeuralFaultInjector:
-    """End-to-end pipeline from natural-language fault descriptions to test outcomes."""
+    """End-to-end pipeline from natural-language fault descriptions to test outcomes.
 
-    def __init__(self, config: PipelineConfig | None = None) -> None:
-        self.config = config or PipelineConfig()
-        self._rng = SeededRNG(self.config.seed, namespace="pipeline")
-        self.extractor = FaultSpecExtractor()
-        self.analyzer = CodeAnalyzer()
-        self.prompts = PromptBuilder()
-        self.generator = FaultGenerator(self.config.model, rng=self._rng.fork("generator"))
-        self.feedback_parser = FeedbackParser()
-        self.dataset_generator = DatasetGenerator(
-            self.config.dataset, execution=self.config.execution
-        )
-        self.sft_trainer = SFTTrainer(self.generator, self.config.sft)
-        self.dataset: FaultDataset | None = None
-        self.sft_report: SFTReport | None = None
-        self.rlhf_report: RLHFReport | None = None
-        self._experiment_runners: dict[str, ExperimentRunner] = {}
+    A deprecated-but-supported façade over :class:`FaultInjectionEngine`;
+    every call operates on the engine's shared stack.  Prefer the engine's
+    typed request API for new code (docs/API.md).
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        engine: FaultInjectionEngine | None = None,
+    ) -> None:
+        """Wrap an engine (building one from ``config`` when not supplied)."""
+        self.engine = engine if engine is not None else FaultInjectionEngine(config)
+        self.config = self.engine.config
+
+    # -- shared component stack (owned by the engine) ------------------------------
+
+    @property
+    def extractor(self) -> FaultSpecExtractor:
+        """The engine's shared NLP spec extractor."""
+        return self.engine.extractor
+
+    @property
+    def analyzer(self) -> CodeAnalyzer:
+        """The engine's shared code analyzer."""
+        return self.engine.analyzer
+
+    @property
+    def prompts(self) -> PromptBuilder:
+        """The engine's shared prompt builder."""
+        return self.engine.prompts
+
+    @property
+    def generator(self) -> FaultGenerator:
+        """The engine's shared generation model."""
+        return self.engine.generator
+
+    @property
+    def feedback_parser(self) -> FeedbackParser:
+        """The engine's shared feedback parser."""
+        return self.engine.feedback_parser
+
+    @property
+    def dataset_generator(self) -> DatasetGenerator:
+        """The engine's shared dataset generator."""
+        return self.engine.dataset_generator
+
+    @property
+    def sft_trainer(self) -> SFTTrainer:
+        """The engine's shared SFT trainer."""
+        return self.engine.sft_trainer
+
+    @property
+    def dataset(self) -> FaultDataset | None:
+        """The last dataset generated through :meth:`prepare`."""
+        return self.engine.dataset
+
+    @dataset.setter
+    def dataset(self, value: FaultDataset | None) -> None:
+        self.engine.dataset = value
+
+    @property
+    def sft_report(self) -> SFTReport | None:
+        """The last supervised fine-tuning report."""
+        return self.engine.sft_report
+
+    @sft_report.setter
+    def sft_report(self, value: SFTReport | None) -> None:
+        self.engine.sft_report = value
+
+    @property
+    def rlhf_report(self) -> RLHFReport | None:
+        """The last RLHF run's history."""
+        return self.engine.rlhf_report
+
+    @rlhf_report.setter
+    def rlhf_report(self, value: RLHFReport | None) -> None:
+        self.engine.rlhf_report = value
+
+    # -- lifecycle -----------------------------------------------------------------
 
     def close(self) -> None:
         """Release sandbox resources: worker pools, scratch dirs (idempotent).
 
-        Covers the dataset generator's validation runner and every cached
-        per-target experiment runner.  Long-lived processes that build many
-        injectors should close each one (or use it as a context manager);
-        one-shot scripts can rely on process exit.
+        Closes the underlying engine (including the request scheduler).
+        Long-lived processes that build many injectors should close each one
+        (or use it as a context manager); one-shot scripts can rely on
+        process exit.
         """
-        self.dataset_generator.close()
-        runners, self._experiment_runners = self._experiment_runners, {}
-        for runner in runners.values():
-            runner.close()
+        self.engine.close()
 
     def __enter__(self) -> "NeuralFaultInjector":
         return self
@@ -79,12 +147,7 @@ class NeuralFaultInjector:
         run_sft: bool = True,
     ) -> FaultDataset:
         """Generate the SFI dataset and (optionally) fine-tune the generator."""
-        targets = targets if targets is not None else all_targets()
-        self.dataset = self.dataset_generator.generate(targets)
-        if run_sft and len(self.dataset) > 0:
-            examples = self.dataset_generator.to_sft_examples(self.dataset)
-            self.sft_report = self.sft_trainer.train(examples)
-        return self.dataset
+        return self.engine.prepare(targets=targets, run_sft=run_sft)
 
     def run_rlhf(
         self,
@@ -112,20 +175,7 @@ class NeuralFaultInjector:
         Returns:
             The :class:`RLHFReport` history (also stored on ``rlhf_report``).
         """
-        runner = self._runner_for(target) if target is not None else None
-        if mode is None:
-            mode = self.config.execution.default_mode
-            if mode == "inprocess":
-                mode = "subprocess"
-        trainer = RLHFTrainer(
-            self.generator,
-            testers or tester_pool(seed=self.config.rlhf.seed),
-            config=self.config.rlhf,
-            runner=runner,
-            execution_mode=mode,
-        )
-        self.rlhf_report = trainer.run(prompts)
-        return self.rlhf_report
+        return self.engine.run_rlhf(prompts, testers=testers, target=target, mode=mode)
 
     # -- individual workflow stages -------------------------------------------------
 
@@ -133,14 +183,7 @@ class NeuralFaultInjector:
         self, text: str, code: str | None = None, path: str | None = None
     ) -> tuple[FaultSpec, CodeContext | None]:
         """Stages 1–2: fault definition and NLP processing."""
-        description = FaultDescription(text=text, code=code, source_path=path)
-        context = None
-        if code and self.config.use_code_context:
-            context = self.analyzer.analyze(code, path=path)
-        spec = self.extractor.extract(description, context=context)
-        if context is not None:
-            self.analyzer.select_function(context, text, hint=spec.target.function)
-        return spec, context
+        return self.engine.define_fault(text, code=code, path=path)
 
     def build_prompt(
         self,
@@ -149,13 +192,13 @@ class NeuralFaultInjector:
         feedback_directives: dict | None = None,
     ) -> GenerationPrompt:
         """Package a spec and code context for the generation model."""
-        return self.prompts.build(spec, context, feedback_directives)
+        return self.engine.build_prompt(spec, context, feedback_directives)
 
     def generate_fault(
         self, prompt: GenerationPrompt, greedy: bool = True, iteration: int = 0
     ) -> GenerationCandidate:
         """Stage 3: code generation."""
-        return self.generator.generate(prompt, greedy=greedy, iteration=iteration)
+        return self.engine.generate_fault(prompt, greedy=greedy, iteration=iteration)
 
     def generate_faults(
         self, prompts: list[GenerationPrompt], greedy: bool = True, iteration: int = 0
@@ -167,7 +210,7 @@ class NeuralFaultInjector:
         cached across repeats and the policy runs one matmul per head for the
         whole prompt set.
         """
-        return self.generator.generate_batch(prompts, greedy=greedy, iteration=iteration)
+        return self.engine.generate_faults(prompts, greedy=greedy, iteration=iteration)
 
     def refine(
         self,
@@ -177,41 +220,30 @@ class NeuralFaultInjector:
         iteration: int,
     ) -> tuple[FaultSpec, GenerationCandidate]:
         """Stage 4: fold one round of tester feedback into a new generation."""
-        directives = self.feedback_parser.directives_from_text(critique)
-        refined_spec = spec_with_feedback(spec, directives)
-        prompt = self.build_prompt(refined_spec, context, feedback_directives=directives)
-        candidate = self.generate_fault(prompt, greedy=True, iteration=iteration)
-        return refined_spec, candidate
+        return self.engine.refine(spec, context, critique, iteration)
 
     def integrate_and_test(
         self, fault: GeneratedFault, target: TargetSystem | str, mode: str = "subprocess"
     ) -> ExperimentRecord:
         """Stages 5–6: automated integration and testing."""
-        runner = self._runner_for(target)
-        return runner.run_generated(fault, mode=mode)
+        return self.engine.integrate_and_test(fault, target, mode=mode)
 
     # -- convenience entry points -----------------------------------------------------
 
     def inject(self, text: str, code: str | None = None, greedy: bool = True) -> GeneratedFault:
         """One-shot generation: description (+ code) → faulty code snippet."""
-        spec, context = self.define_fault(text, code=code)
-        prompt = self.build_prompt(spec, context)
-        return self.generate_fault(prompt, greedy=greedy).fault
+        return self.engine.inject(text, code=code, greedy=greedy)
 
     def inject_many(
         self, texts: list[str], code: str | None = None, greedy: bool = True
     ) -> list[GeneratedFault]:
         """Batched :meth:`inject`: NLP per description, then one model batch.
 
-        The NLP stage runs per description (it is pure Python and cached at
-        the analyzer level), and the model stage — encoding, forward pass,
+        The NLP stage runs per description (cache-assisted at the extractor
+        and analyzer level), and the model stage — encoding, forward pass,
         decoding — executes as a single batch.
         """
-        prompts = []
-        for text in texts:
-            spec, context = self.define_fault(text, code=code)
-            prompts.append(self.build_prompt(spec, context))
-        return [candidate.fault for candidate in self.generate_faults(prompts, greedy=greedy)]
+        return self.engine.inject_many(texts, code=code, greedy=greedy)
 
     def run_workflow(
         self,
@@ -227,101 +259,9 @@ class NeuralFaultInjector:
         accept) or a :class:`SimulatedTester`; at most
         ``config.max_refinement_iterations`` refinement rounds are run.
         """
-        target_system = get_target(target) if isinstance(target, str) else target
-        if code is None and target_system is not None:
-            code = target_system.build_source()
-        trace = WorkflowTrace(description=text, target=target_system.name if target_system else None)
-
-        started = time.perf_counter()
-        description = FaultDescription(text=text, code=code)
-        trace.add_stage("fault_definition", time.perf_counter() - started, {"has_code": code is not None})
-
-        started = time.perf_counter()
-        try:
-            spec, context = self.define_fault(text, code=code)
-        except ReproError as exc:
-            trace.add_stage("nlp_processing", time.perf_counter() - started, {"error": str(exc)}, succeeded=False)
-            return trace
-        trace.spec = spec
-        trace.add_stage(
-            "nlp_processing",
-            time.perf_counter() - started,
-            {
-                "fault_type": spec.fault_type.value,
-                "target_function": spec.target.function,
-                "confidence": spec.confidence,
-                "entities": len(spec.entities),
-            },
-        )
-
-        started = time.perf_counter()
-        prompt = self.build_prompt(spec, context)
-        candidate = self.generate_fault(prompt)
-        trace.add_stage(
-            "code_generation",
-            time.perf_counter() - started,
-            {"template": candidate.decisions.template, "logprob": round(candidate.logprob, 3)},
-        )
-
-        started = time.perf_counter()
-        rounds = 0
-        current_spec = spec
-        while rounds < self.config.max_refinement_iterations:
-            critique = self._critique(feedback, current_spec, candidate)
-            if not critique:
-                break
-            rounds += 1
-            current_spec, candidate = self.refine(current_spec, context, critique, iteration=rounds)
-        trace.feedback_rounds = rounds
-        trace.fault = candidate.fault
-        trace.add_stage("rlhf_refinement", time.perf_counter() - started, {"rounds": rounds})
-
-        if target_system is None:
-            return trace
-
-        started = time.perf_counter()
-        record = self.integrate_and_test(candidate.fault, target_system, mode=mode)
-        integration_failed = bool(record.outcome.details.get("integration_failed"))
-        trace.add_stage(
-            "integration",
-            time.perf_counter() - started,
-            {"changed_lines": record.outcome.details.get("changed_lines", 0)},
-            succeeded=not integration_failed,
-        )
-        trace.add_stage(
-            "testing",
-            record.outcome.duration_seconds,
-            {
-                "failure_mode": record.outcome.failure_mode.value,
-                "activated": record.outcome.activated,
-            },
-            succeeded=not integration_failed,
-        )
-        trace.outcome = record.outcome
-        return trace
+        return self.engine.run_workflow(text, target=target, code=code, feedback=feedback, mode=mode)
 
     # -- internals ----------------------------------------------------------------------
 
     def _runner_for(self, target: TargetSystem | str) -> ExperimentRunner:
-        target_system = get_target(target) if isinstance(target, str) else target
-        if target_system.name not in self._experiment_runners:
-            self._experiment_runners[target_system.name] = ExperimentRunner(
-                target_system,
-                config=self.config.integration,
-                seed=self.config.seed,
-                execution=self.config.execution,
-            )
-        return self._experiment_runners[target_system.name]
-
-    @staticmethod
-    def _critique(
-        feedback: FeedbackProvider | SimulatedTester | None,
-        spec: FaultSpec,
-        candidate: GenerationCandidate,
-    ) -> str | None:
-        if feedback is None:
-            return None
-        if isinstance(feedback, SimulatedTester):
-            review = feedback.review(spec, candidate)
-            return None if review.accept else review.critique
-        return feedback(spec, candidate)
+        return self.engine._runner_for(target)

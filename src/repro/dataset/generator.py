@@ -82,6 +82,9 @@ class DatasetGenerator:
         synthesizer: DescriptionSynthesizer | None = None,
         execution: ExecutionConfig | None = None,
         runner=None,
+        extractor: FaultSpecExtractor | None = None,
+        analyzer: CodeAnalyzer | None = None,
+        prompts: PromptBuilder | None = None,
     ) -> None:
         """Initialise the generator.
 
@@ -94,14 +97,19 @@ class DatasetGenerator:
             runner: A shared :class:`~repro.integration.runner.SandboxRunner`
                 to validate candidates with; one is created lazily when
                 validation is enabled and no runner is supplied.
+            extractor: A shared NLP spec extractor — the engine passes its
+                own so dataset sweeps warm (and profit from) the same
+                description-hash cache serving traffic uses.
+            analyzer: A shared code analyzer (same sharing rationale).
+            prompts: A shared prompt builder (same sharing rationale).
         """
         self._config = config or DatasetConfig()
         self._rng = SeededRNG(self._config.seed, namespace="dataset")
         self._injector = injector or ProgrammableInjector(rng=self._rng.fork("injector"))
         self._synthesizer = synthesizer or DescriptionSynthesizer(self._rng.fork("describe"))
-        self._extractor = FaultSpecExtractor()
-        self._analyzer = CodeAnalyzer()
-        self._prompts = PromptBuilder()
+        self._extractor = extractor or FaultSpecExtractor()
+        self._analyzer = analyzer or CodeAnalyzer()
+        self._prompts = prompts or PromptBuilder()
         self._execution = execution or ExecutionConfig()
         self._runner = runner
         self._owns_runner = False

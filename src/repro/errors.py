@@ -91,3 +91,11 @@ class DatasetError(ReproError):
 
 class TargetError(ReproError):
     """A target system misbehaved outside of an injected fault."""
+
+
+class RequestError(ReproError):
+    """A typed service request failed validation at construction time."""
+
+
+class EngineClosedError(ReproError):
+    """A request was submitted to a :class:`FaultInjectionEngine` after close()."""

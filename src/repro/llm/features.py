@@ -20,6 +20,7 @@ the batched policy network consumes.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -66,6 +67,7 @@ class FeatureEncoder:
             )
         self._hash_size = self._config.feature_dim - self._fixed_size
         self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
 
@@ -76,18 +78,50 @@ class FeatureEncoder:
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss/size counters of the prompt-hash encoding cache."""
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "size": len(self._cache),
-            "max_size": self._config.encoder_cache_size,
-        }
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "size": len(self._cache),
+                "max_size": self._config.encoder_cache_size,
+            }
 
     def clear_cache(self) -> None:
         """Drop all memoized encodings (counters included)."""
-        self._cache.clear()
-        self._cache_hits = 0
-        self._cache_misses = 0
+        with self._cache_lock:
+            self._cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
+
+    def export_cache(self) -> dict[str, np.ndarray]:
+        """A snapshot of the encoding cache for cross-process persistence."""
+        with self._cache_lock:
+            return dict(self._cache)
+
+    def import_cache(self, entries: dict[str, np.ndarray]) -> int:
+        """Merge previously exported encodings, respecting the LRU bound.
+
+        Vectors whose length does not match this encoder's ``feature_dim``
+        are skipped (the cache may have been saved under a different model
+        configuration).
+
+        Returns:
+            The number of entries actually installed.
+        """
+        if self._config.encoder_cache_size <= 0:
+            return 0
+        installed = 0
+        with self._cache_lock:
+            for key, vector in entries.items():
+                if key in self._cache or vector.shape != (self.dimension,):
+                    continue
+                vector = np.asarray(vector, dtype=np.float64)
+                vector.flags.writeable = False
+                self._cache[key] = vector
+                installed += 1
+            while len(self._cache) > self._config.encoder_cache_size:
+                self._cache.popitem(last=False)
+        return installed
 
     def encode(self, prompt: GenerationPrompt) -> np.ndarray:
         """Encode a prompt into a float vector of length :attr:`dimension`.
@@ -99,17 +133,19 @@ class FeatureEncoder:
         if self._config.encoder_cache_size <= 0:
             return self._encode_uncached(prompt)
         key = prompt.cache_key()
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache_hits += 1
-            self._cache.move_to_end(key)
-            return cached
-        self._cache_misses += 1
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache_hits += 1
+                self._cache.move_to_end(key)
+                return cached
+            self._cache_misses += 1
         encoded = self._encode_uncached(prompt)
         encoded.flags.writeable = False
-        self._cache[key] = encoded
-        while len(self._cache) > self._config.encoder_cache_size:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[key] = encoded
+            while len(self._cache) > self._config.encoder_cache_size:
+                self._cache.popitem(last=False)
         return encoded
 
     def encode_batch(self, prompts: list[GenerationPrompt]) -> np.ndarray:

@@ -151,6 +151,55 @@ class FaultGenerator:
             for prompt, decodings in zip(prompts, decoding_sets)
         ]
 
+    # -- serving hooks ------------------------------------------------------------
+
+    def prompt_distributions(self, prompts: list[GenerationPrompt]) -> dict:
+        """Constrained per-slot ``(B, |slot|)`` distributions for a prompt batch.
+
+        The continuous-batching scheduler uses this to run one batched forward
+        pass for every queued request, then decodes each row independently with
+        :meth:`decode_prompt` (per-request decode parameters and seeds).
+        """
+        return self._constrained_distributions_batch(prompts)
+
+    def decode_prompt(
+        self,
+        prompt: GenerationPrompt,
+        distributions: dict,
+        greedy: bool = True,
+        decoder: Decoder | None = None,
+        temperature: float | None = None,
+        top_k: int | None = None,
+        top_p: float | None = None,
+        iteration: int = 0,
+    ) -> GenerationCandidate:
+        """Decode one prompt from precomputed per-slot distribution vectors.
+
+        Args:
+            prompt: The prompt the distributions were computed for.
+            distributions: Per-slot probability *vectors* (one row sliced out
+                of :meth:`prompt_distributions`).
+            greedy: Argmax decoding when true, sampling otherwise.
+            decoder: Decoder to draw from; defaults to the generator's shared
+                decoder.  Serving passes a per-request decoder seeded from the
+                request so grouping never changes a request's sample stream.
+            temperature: Sampling temperature override.
+            top_k: Top-k truncation override.
+            top_p: Nucleus truncation override.
+            iteration: Refinement iteration recorded on the fault.
+
+        Returns:
+            The rendered :class:`GenerationCandidate`.
+        """
+        active = decoder or self.decoder
+        if greedy:
+            decoding = active.greedy(distributions)
+        else:
+            decoding = active.sample(
+                distributions, temperature=temperature, top_k=top_k, top_p=top_p
+            )
+        return self._materialise(prompt, decoding, iteration)
+
     def logprob_batch(self, prompts: list[GenerationPrompt], decisions: list[DecisionVector]):
         """Per-prompt joint log-probabilities through one batched forward pass."""
         features = self.encoder.encode_batch(prompts)

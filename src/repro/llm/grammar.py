@@ -26,6 +26,7 @@ decoding in DESIGN.md.
 from __future__ import annotations
 
 import ast
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -105,17 +106,42 @@ class CodeGrammar:
         self._injector = injector or ProgrammableInjector(rng=self._rng.fork("injector"))
         self._cache_size = max(0, int(cache_size))
         self._cache: "OrderedDict[tuple, RenderedFault]" = OrderedDict()
+        self._cache_lock = threading.Lock()
         self._cache_hits = 0
         self._cache_misses = 0
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss/size counters of the render memoization cache."""
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "size": len(self._cache),
-            "max_size": self._cache_size,
-        }
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "size": len(self._cache),
+                "max_size": self._cache_size,
+            }
+
+    def export_cache(self) -> dict[tuple, RenderedFault]:
+        """A snapshot of the render cache for cross-process persistence."""
+        with self._cache_lock:
+            return dict(self._cache)
+
+    def import_cache(self, entries: dict[tuple, RenderedFault]) -> int:
+        """Merge previously exported rendered faults, respecting the LRU bound.
+
+        Returns:
+            The number of entries actually installed.
+        """
+        if self._cache_size <= 0:
+            return 0
+        installed = 0
+        with self._cache_lock:
+            for key, rendered in entries.items():
+                if key not in self._cache:
+                    self._cache[key] = rendered
+                    installed += 1
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return installed
 
     # -- public API --------------------------------------------------------------
 
@@ -124,16 +150,18 @@ class CodeGrammar:
         if self._cache_size <= 0:
             return self._render(prompt, decisions)
         key = (prompt.cache_key(), tuple(sorted(decisions.to_dict().items())))
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache_hits += 1
-            self._cache.move_to_end(key)
-            return cached
-        self._cache_misses += 1
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache_hits += 1
+                self._cache.move_to_end(key)
+                return cached
+            self._cache_misses += 1
         rendered = self._render(prompt, decisions)
-        self._cache[key] = rendered
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[key] = rendered
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
         return rendered
 
     def _render(self, prompt: GenerationPrompt, decisions: DecisionVector) -> RenderedFault:

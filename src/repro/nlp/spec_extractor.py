@@ -8,7 +8,11 @@ generation model can consume.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import re
+import threading
+from collections import OrderedDict
 
 from ..errors import SpecificationError
 from ..types import (
@@ -40,7 +44,16 @@ _RETRY_COUNT_PATTERN = re.compile(r"(\d+|\w+)\s+(?:retries|attempts|times)", re.
 
 
 class FaultSpecExtractor:
-    """Turns a :class:`FaultDescription` into a structured :class:`FaultSpec`."""
+    """Turns a :class:`FaultDescription` into a structured :class:`FaultSpec`.
+
+    Extraction is deterministic pure Python, and serving workloads submit the
+    same descriptions over and over (many clients requesting the same failure
+    scenario), so results are memoized under a hash of the description text
+    and the grounding code context — an LRU cache of at most ``cache_size``
+    entries (``0`` disables caching).  Cache hits return a fresh spec copy
+    with copied mutable containers, so feedback-driven spec rewrites can never
+    corrupt a cached entry.
+    """
 
     def __init__(
         self,
@@ -48,16 +61,139 @@ class FaultSpecExtractor:
         recognizer: EntityRecognizer | None = None,
         relation_extractor: RelationExtractor | None = None,
         code_analyzer: CodeAnalyzer | None = None,
+        cache_size: int = 1024,
     ) -> None:
         self._tokenizer = tokenizer or Tokenizer()
         self._recognizer = recognizer or EntityRecognizer(self._tokenizer)
         self._relations = relation_extractor or RelationExtractor()
         self._analyzer = code_analyzer or CodeAnalyzer()
+        self._cache_size = max(0, int(cache_size))
+        self._cache: "OrderedDict[str, FaultSpec]" = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # -- cache management --------------------------------------------------------
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters of the description-hash extraction cache."""
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "size": len(self._cache),
+                "max_size": self._cache_size,
+            }
+
+    def clear_cache(self) -> None:
+        """Drop all memoized specs (counters included)."""
+        with self._cache_lock:
+            self._cache.clear()
+            self._cache_hits = 0
+            self._cache_misses = 0
+
+    def export_cache(self) -> dict[str, FaultSpec]:
+        """A snapshot of the extraction cache for cross-process persistence."""
+        with self._cache_lock:
+            return dict(self._cache)
+
+    def import_cache(self, entries: dict[str, FaultSpec]) -> int:
+        """Merge previously exported entries, respecting the LRU bound.
+
+        Returns:
+            The number of entries actually installed.
+        """
+        if self._cache_size <= 0:
+            return 0
+        installed = 0
+        with self._cache_lock:
+            for key, spec in entries.items():
+                if key not in self._cache:
+                    self._cache[key] = spec
+                    installed += 1
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return installed
+
+    @staticmethod
+    def _cache_key(text: str, context: CodeContext | None) -> str:
+        payload = "\x1f".join(
+            (
+                text,
+                context.source if context is not None else "",
+                (context.path or "") if context is not None else "",
+                (context.module_name or "") if context is not None else "",
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def _fresh_copy(spec: FaultSpec) -> FaultSpec:
+        """A shallow spec copy with fresh mutable containers (lists/dicts)."""
+        return dataclasses.replace(
+            spec,
+            entities=list(spec.entities),
+            parameters=dict(spec.parameters),
+            directives=dict(spec.directives),
+        )
 
     # -- public API --------------------------------------------------------------
 
     def extract(self, description: FaultDescription, context: CodeContext | None = None) -> FaultSpec:
         """Extract a fault specification, optionally grounded in target code."""
+        if self._cache_size <= 0:
+            return self._extract_uncached(description, context)
+        key = self._cache_key(description.text, context)
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache_hits += 1
+                self._cache.move_to_end(key)
+                return self._fresh_copy(cached)
+            self._cache_misses += 1
+        spec = self._extract_uncached(description, context)
+        with self._cache_lock:
+            self._cache[key] = self._fresh_copy(spec)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return spec
+
+    def extract_batch(
+        self,
+        descriptions: list[FaultDescription],
+        contexts: list[CodeContext | None] | None = None,
+    ) -> list[FaultSpec]:
+        """Extract specs for many descriptions (cache-assisted).
+
+        Args:
+            descriptions: Fault descriptions to process.
+            contexts: Optional per-description code contexts, aligned with
+                ``descriptions``; ``None`` (or a ``None`` entry) extracts
+                without code grounding.
+
+        Returns:
+            One :class:`FaultSpec` per description, in input order.  Repeated
+            (description, context) pairs — the common shape of concurrent
+            serving traffic — are extracted once and served from the LRU
+            cache afterwards.
+
+        Raises:
+            SpecificationError: If ``contexts`` is given but not aligned with
+                ``descriptions``, or any description is empty.
+        """
+        if contexts is not None and len(contexts) != len(descriptions):
+            raise SpecificationError(
+                f"contexts ({len(contexts)}) must align with descriptions ({len(descriptions)})"
+            )
+        return [
+            self.extract(description, context=contexts[index] if contexts else None)
+            for index, description in enumerate(descriptions)
+        ]
+
+    def _extract_uncached(
+        self, description: FaultDescription, context: CodeContext | None = None
+    ) -> FaultSpec:
+        """The full (uncached) NLP extraction pipeline."""
         text = normalize(description.text)
         if not text:
             raise SpecificationError("empty fault description", description=description.text)

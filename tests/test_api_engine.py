@@ -1,0 +1,300 @@
+"""The engine façade: lifecycle, solo-parity determinism, cache persistence,
+and the batched NLP extraction stage."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import (
+    FaultInjectionEngine,
+    GenerateRequest,
+    NeuralFaultInjector,
+    PipelineConfig,
+)
+from repro.api import DatasetRequest, GeneratePayload, RLHFRequest
+from repro.config import RLHFConfig
+from repro.errors import EngineClosedError, RequestError
+from repro.nlp import FaultSpecExtractor
+from repro.targets import get_target
+from repro.types import FaultDescription
+
+DESCRIPTIONS = [
+    "Simulate a timeout in the transfer function causing an unhandled exception",
+    "Silently corrupt the amount returned by the transfer function",
+    "Make the withdraw function silently swallow errors instead of raising them",
+    "Remove the overdraft validation check from withdraw",
+    "Raise an unexpected exception in deposit when the amount is small",
+    "Introduce a delay into apply_interest that slows every statement run",
+]
+
+#: Descriptions grounded in the kvstore target's functions.
+KVSTORE_DESCRIPTIONS = [
+    "Simulate a timeout in the put function causing an unhandled exception",
+    "Make the get function silently swallow errors instead of raising them",
+    "Silently corrupt the value returned by the get function",
+]
+
+
+def _expected_payload_dict(config: PipelineConfig, description: str, target: str, greedy: bool):
+    """The payload a fresh, solo run through the old API produces."""
+    with NeuralFaultInjector(PipelineConfig.from_dict(config.to_dict())) as legacy:
+        code = get_target(target).build_source()
+        spec, context = legacy.define_fault(description, code=code)
+        prompt = legacy.build_prompt(spec, context)
+        candidate = legacy.generate_fault(prompt, greedy=greedy)
+    return GeneratePayload.from_candidate(candidate).deterministic_dict()
+
+
+class TestEngineLifecycle:
+    def test_context_manager_closes_engine(self):
+        with FaultInjectionEngine() as engine:
+            assert not engine.closed
+        assert engine.closed
+
+    def test_close_is_idempotent(self):
+        engine = FaultInjectionEngine()
+        engine.close()
+        engine.close()
+        assert engine.closed
+
+    def test_submit_after_close_raises(self):
+        engine = FaultInjectionEngine()
+        engine.close()
+        with pytest.raises(EngineClosedError):
+            engine.submit(GenerateRequest(description="x"))
+
+    def test_requests_submitted_before_close_still_resolve(self):
+        engine = FaultInjectionEngine()
+        handles = [
+            engine.submit(GenerateRequest(description=text, target="bank"))
+            for text in DESCRIPTIONS[:3]
+        ]
+        engine.close()
+        for handle in handles:
+            assert handle.result(timeout=30).ok
+
+    def test_untyped_requests_are_rejected(self):
+        with FaultInjectionEngine() as engine:
+            with pytest.raises(RequestError, match="typed request"):
+                engine.submit({"description": "x"})
+
+    def test_legacy_facade_shares_the_engine_stack(self):
+        with FaultInjectionEngine() as engine:
+            legacy = NeuralFaultInjector(engine=engine)
+            assert legacy.engine is engine
+            assert legacy.generator is engine.generator
+            assert legacy.extractor is engine.extractor
+            assert legacy.config is engine.config
+
+
+class TestSoloParityDeterminism:
+    """Concurrent mixes are byte-identical to solo runs through the old API."""
+
+    def test_concurrent_mix_matches_fresh_old_api_payloads(self):
+        config = PipelineConfig()
+        mix = [(text, "bank") for text in DESCRIPTIONS] + [
+            (text, "kvstore") for text in KVSTORE_DESCRIPTIONS
+        ]
+        requests = [
+            GenerateRequest(
+                description=text,
+                target=target,
+                greedy=index % 3 != 2,
+                request_id=f"mix-{index}",
+            )
+            for index, (text, target) in enumerate(mix)
+        ]
+        with FaultInjectionEngine(config) as engine:
+            responses = [None] * len(requests)
+
+            def client(start: int) -> None:
+                for offset in range(start, len(requests), 2):
+                    responses[offset] = engine.submit(requests[offset])
+
+            threads = [threading.Thread(target=client, args=(start,)) for start in (0, 1)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            envelopes = [handle.result(timeout=60) for handle in responses]
+
+        for request, envelope in zip(requests, envelopes):
+            assert envelope.ok, envelope.error
+            assert envelope.request_id == request.request_id
+            produced = json.dumps(envelope.payload.deterministic_dict(), sort_keys=True)
+            expected = json.dumps(
+                _expected_payload_dict(config, request.description, request.target, request.greedy),
+                sort_keys=True,
+            )
+            assert produced == expected, f"payload drifted for {request.request_id}"
+
+    def test_seeded_sampling_is_invariant_to_grouping(self):
+        config = PipelineConfig()
+        requests = [
+            GenerateRequest(
+                description=text, target="bank", greedy=False, seed=1000 + index
+            )
+            for index, text in enumerate(DESCRIPTIONS[:4])
+        ]
+        with FaultInjectionEngine(config) as engine:
+            grouped = engine.run_many(requests)
+        solo = []
+        for request in requests:
+            with FaultInjectionEngine(PipelineConfig.from_dict(config.to_dict())) as fresh:
+                solo.append(fresh.run(request))
+        for grouped_response, solo_response in zip(grouped, solo):
+            assert grouped_response.ok and solo_response.ok
+            assert json.dumps(grouped_response.payload.deterministic_dict(), sort_keys=True) == json.dumps(
+                solo_response.payload.deterministic_dict(), sort_keys=True
+            )
+
+    def test_executed_request_matches_old_api_outcome(self):
+        config = PipelineConfig()
+        request = GenerateRequest(
+            description=DESCRIPTIONS[0], target="bank", execute=True, mode="subprocess"
+        )
+        with FaultInjectionEngine(config) as engine:
+            response = engine.run(request)
+        assert response.ok
+        with NeuralFaultInjector(PipelineConfig.from_dict(config.to_dict())) as legacy:
+            fault = legacy.inject(DESCRIPTIONS[0], code=get_target("bank").build_source())
+            record = legacy.integrate_and_test(fault, "bank", mode="subprocess")
+        produced = response.payload.deterministic_dict()["outcome"]
+        expected = record.outcome.to_dict()
+        expected.pop("duration_seconds", None)
+        assert produced == expected
+
+    def test_error_requests_resolve_with_structured_envelopes(self):
+        with FaultInjectionEngine() as engine:
+            # A code context with no functions fails function selection in
+            # the NLP stage without disturbing the healthy request.
+            broken = GenerateRequest(description="make it fail somehow", code="x = 1\n")
+            healthy = GenerateRequest(description=DESCRIPTIONS[0], target="bank")
+            responses = engine.run_many([broken, healthy])
+        assert not responses[0].ok
+        assert responses[0].error.type == "CodeAnalysisError"
+        assert responses[0].payload is None
+        assert responses[1].ok
+
+
+class TestHeavyweightRequests:
+    def test_dataset_request_produces_records_and_updates_engine_state(self, tmp_path):
+        with FaultInjectionEngine() as engine:
+            response = engine.run(DatasetRequest(targets=("bank",), samples_per_target=4))
+            assert response.ok
+            assert response.payload.records == 4
+            assert engine.dataset is not None and len(engine.dataset) == 4
+            streamed = engine.run(
+                DatasetRequest(
+                    targets=("bank",), samples_per_target=4, jsonl_path=str(tmp_path / "d.jsonl")
+                )
+            )
+            assert streamed.ok
+            assert streamed.payload.jsonl_path.endswith("d.jsonl")
+            assert (tmp_path / "d.jsonl").exists()
+
+    def test_rlhf_request_runs_the_loop(self):
+        config = PipelineConfig(rlhf=RLHFConfig(iterations=1, candidates_per_iteration=2))
+        with FaultInjectionEngine(config) as engine:
+            response = engine.run(
+                RLHFRequest(descriptions=(DESCRIPTIONS[0],), iterations=1)
+            )
+        assert response.ok
+        assert response.payload.prompts == 1
+        assert len(response.payload.report["iterations"]) == 1
+
+
+class TestCachePersistence:
+    def test_save_and_load_round_trip_warms_a_fresh_engine(self, tmp_path):
+        path = tmp_path / "caches.pkl"
+        config = PipelineConfig()
+        with FaultInjectionEngine(config) as engine:
+            engine.run_many(
+                [GenerateRequest(description=text, target="bank") for text in DESCRIPTIONS[:3]]
+            )
+            counts = engine.save_caches(path)
+        assert counts["extract"] > 0 and counts["encoder"] > 0 and counts["render"] > 0
+
+        with FaultInjectionEngine(PipelineConfig.from_dict(config.to_dict())) as warmed:
+            installed = warmed.load_caches(path)
+            assert installed["extract"] == counts["extract"]
+            assert installed["encoder"] == counts["encoder"]
+            assert installed["render"] == counts["render"]
+            warmed.run_many(
+                [GenerateRequest(description=text, target="bank") for text in DESCRIPTIONS[:3]]
+            )
+            assert warmed.extractor.cache_info()["hits"] >= 3
+            assert warmed.generator.encoder.cache_info()["hits"] >= 3
+            assert warmed.generator.grammar.cache_info()["hits"] >= 3
+
+    def test_loaded_results_match_unwarmed_results(self, tmp_path):
+        path = tmp_path / "caches.pkl"
+        config = PipelineConfig()
+        request = GenerateRequest(description=DESCRIPTIONS[1], target="bank")
+        with FaultInjectionEngine(config) as engine:
+            cold = engine.run(request)
+            engine.save_caches(path)
+        with FaultInjectionEngine(PipelineConfig.from_dict(config.to_dict())) as warmed:
+            warmed.load_caches(path)
+            warm = warmed.run(request)
+        assert json.dumps(cold.payload.deterministic_dict(), sort_keys=True) == json.dumps(
+            warm.payload.deterministic_dict(), sort_keys=True
+        )
+
+    def test_unsupported_cache_version_is_rejected(self, tmp_path):
+        import pickle
+
+        from repro.errors import ReproError
+
+        path = tmp_path / "bad.pkl"
+        path.write_bytes(pickle.dumps({"version": 99}))
+        with FaultInjectionEngine() as engine:
+            with pytest.raises(ReproError, match="unsupported cache file version"):
+                engine.load_caches(path)
+
+
+class TestBatchedExtraction:
+    def test_extract_batch_matches_per_description_extraction(self):
+        cached = FaultSpecExtractor(cache_size=64)
+        uncached = FaultSpecExtractor(cache_size=0)
+        descriptions = [FaultDescription(text=text) for text in DESCRIPTIONS]
+        batch = cached.extract_batch(descriptions)
+        solo = [uncached.extract(description) for description in descriptions]
+        assert [spec.to_dict() for spec in batch] == [spec.to_dict() for spec in solo]
+
+    def test_repeated_descriptions_hit_the_cache(self):
+        extractor = FaultSpecExtractor(cache_size=64)
+        descriptions = [FaultDescription(text=DESCRIPTIONS[0]) for _ in range(5)]
+        extractor.extract_batch(descriptions)
+        info = extractor.cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 4
+
+    def test_cache_hits_return_independent_copies(self):
+        extractor = FaultSpecExtractor(cache_size=64)
+        description = FaultDescription(text=DESCRIPTIONS[0])
+        first = extractor.extract(description)
+        first.parameters["mutated"] = True
+        first.entities.clear()
+        second = extractor.extract(description)
+        assert "mutated" not in second.parameters
+        assert second.entities or second.to_dict() != {}
+        assert second.parameters is not first.parameters
+
+    def test_misaligned_contexts_are_rejected(self):
+        from repro.errors import SpecificationError
+
+        extractor = FaultSpecExtractor()
+        with pytest.raises(SpecificationError, match="align"):
+            extractor.extract_batch([FaultDescription(text="x")], contexts=[None, None])
+
+    def test_zero_cache_size_disables_caching(self):
+        extractor = FaultSpecExtractor(cache_size=0)
+        description = FaultDescription(text=DESCRIPTIONS[0])
+        extractor.extract(description)
+        extractor.extract(description)
+        assert extractor.cache_info()["size"] == 0
+        assert extractor.cache_info()["hits"] == 0

@@ -1,0 +1,173 @@
+"""Validation of the typed service-layer request objects."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api import CampaignRequest, DatasetRequest, GenerateRequest, RLHFRequest
+from repro.errors import RequestError
+
+
+class TestGenerateRequestValidation:
+    def test_minimal_request_is_valid(self):
+        request = GenerateRequest(description="Simulate a timeout in transfer")
+        assert request.kind == "generate"
+        assert request.greedy is True
+
+    def test_requests_are_frozen_and_hashable(self):
+        request = GenerateRequest(description="x", target="bank")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.description = "y"
+        assert hash(request) == hash(GenerateRequest(description="x", target="bank"))
+
+    @pytest.mark.parametrize("description", ["", "   ", None, 42])
+    def test_bad_description_is_rejected(self, description):
+        with pytest.raises(RequestError):
+            GenerateRequest(description=description)
+
+    def test_unknown_target_is_rejected_with_available_names(self):
+        with pytest.raises(RequestError, match="unknown target system.*available"):
+            GenerateRequest(description="x", target="no-such-system")
+
+    def test_execute_requires_a_target(self):
+        with pytest.raises(RequestError, match="execute=True requires a target"):
+            GenerateRequest(description="x", execute=True)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"temperature": 0.8},
+            {"top_k": 3},
+            {"top_p": 0.9},
+        ],
+    )
+    def test_sampling_controls_conflict_with_greedy(self, kwargs):
+        with pytest.raises(RequestError, match="conflicting decode parameters"):
+            GenerateRequest(description="x", greedy=True, **kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"temperature": 0.0},
+            {"temperature": -1.0},
+            {"top_k": 0},
+            {"top_k": -2},
+            {"top_p": 0.0},
+            {"top_p": 1.5},
+        ],
+    )
+    def test_out_of_range_decode_params_are_rejected(self, kwargs):
+        with pytest.raises(RequestError):
+            GenerateRequest(description="x", greedy=False, **kwargs)
+
+    def test_bad_mode_is_rejected(self):
+        with pytest.raises(RequestError, match="mode must be one of"):
+            GenerateRequest(description="x", mode="quantum")
+
+    def test_blank_request_id_is_rejected(self):
+        with pytest.raises(RequestError, match="request_id"):
+            GenerateRequest(description="x", request_id="  ")
+
+    def test_sampled_request_with_controls_is_valid(self):
+        request = GenerateRequest(
+            description="x", greedy=False, temperature=1.2, top_k=3, top_p=0.95, seed=99
+        )
+        assert request.seed == 99
+
+
+class TestDatasetRequestValidation:
+    def test_defaults_are_valid(self):
+        request = DatasetRequest()
+        assert request.kind == "dataset"
+        assert request.targets == ()
+
+    def test_targets_are_normalised_to_a_tuple(self):
+        request = DatasetRequest(targets=["bank", "kvstore"])
+        assert request.targets == ("bank", "kvstore")
+
+    def test_bare_string_targets_are_rejected(self):
+        with pytest.raises(RequestError, match="sequence of strings"):
+            DatasetRequest(targets="bank")
+
+    def test_unknown_target_is_rejected(self):
+        with pytest.raises(RequestError, match="targets.*unknown target"):
+            DatasetRequest(targets=("bank", "nope"))
+
+    @pytest.mark.parametrize("samples", [0, -5])
+    def test_negative_counts_are_rejected(self, samples):
+        with pytest.raises(RequestError, match="samples_per_target"):
+            DatasetRequest(samples_per_target=samples)
+
+    def test_run_sft_conflicts_with_streaming(self):
+        with pytest.raises(RequestError, match="in-memory dataset"):
+            DatasetRequest(run_sft=True, jsonl_path="out.jsonl")
+
+
+class TestCampaignRequestValidation:
+    def test_valid_request(self):
+        request = CampaignRequest(target="bank", scenarios=("a timeout in transfer",))
+        assert request.kind == "campaign"
+        assert request.techniques == ("neural", "predefined-model", "random")
+
+    def test_target_is_required(self):
+        with pytest.raises(RequestError, match="target is required"):
+            CampaignRequest(scenarios=("x",))
+
+    @pytest.mark.parametrize("scenarios", [(), ("ok", "   ")])
+    def test_empty_or_blank_scenarios_are_rejected(self, scenarios):
+        with pytest.raises(RequestError, match="scenarios"):
+            CampaignRequest(target="bank", scenarios=scenarios)
+
+    def test_unknown_technique_is_rejected(self):
+        with pytest.raises(RequestError, match="unknown techniques"):
+            CampaignRequest(target="bank", scenarios=("x",), techniques=("llm-magic",))
+
+    @pytest.mark.parametrize("budget", [0, -3])
+    def test_negative_budget_is_rejected(self, budget):
+        with pytest.raises(RequestError, match="budget"):
+            CampaignRequest(target="bank", scenarios=("x",), budget=budget)
+
+
+class TestRLHFRequestValidation:
+    def test_valid_request(self):
+        request = RLHFRequest(descriptions=("make transfer time out",), target="bank")
+        assert request.kind == "rlhf"
+
+    def test_empty_descriptions_are_rejected(self):
+        with pytest.raises(RequestError, match="descriptions"):
+            RLHFRequest(descriptions=())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"iterations": 0},
+            {"iterations": -1},
+            {"candidates_per_iteration": 0},
+            {"candidates_per_iteration": -4},
+        ],
+    )
+    def test_negative_schedule_counts_are_rejected(self, kwargs):
+        with pytest.raises(RequestError):
+            RLHFRequest(descriptions=("x",), **kwargs)
+
+    def test_unknown_target_is_rejected(self):
+        with pytest.raises(RequestError, match="unknown target"):
+            RLHFRequest(descriptions=("x",), target="nope")
+
+
+class TestRequestSerialization:
+    def test_to_dict_round_trips_field_values(self):
+        request = GenerateRequest(description="x", target="bank", execute=True, mode="pool")
+        data = request.to_dict()
+        assert data["description"] == "x"
+        assert data["target"] == "bank"
+        assert data["execute"] is True
+        assert GenerateRequest(**data) == request
+
+    def test_sequence_fields_serialize_as_lists(self):
+        request = CampaignRequest(target="bank", scenarios=("a", "b"), techniques=("neural",))
+        data = request.to_dict()
+        assert data["scenarios"] == ["a", "b"]
+        assert data["techniques"] == ["neural"]

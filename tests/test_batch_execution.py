@@ -248,7 +248,7 @@ class TestRLHFBatchScoring:
             assert with_evidence.fault_id == without.fault_id
 
     def test_run_rlhf_promotes_inprocess_default_to_subprocess(self, prompt, monkeypatch):
-        import repro.core.pipeline as pipeline_mod
+        import repro.api.engine as engine_mod
         from repro import NeuralFaultInjector
         from repro.rlhf import RLHFReport
 
@@ -261,7 +261,7 @@ class TestRLHFBatchScoring:
             def run(self, prompts):
                 return RLHFReport()
 
-        monkeypatch.setattr(pipeline_mod, "RLHFTrainer", SpyTrainer)
+        monkeypatch.setattr(engine_mod, "RLHFTrainer", SpyTrainer)
         with NeuralFaultInjector() as injector:   # default execution mode is inprocess
             injector.run_rlhf([prompt], target="bank")
             assert captured["mode"] == "subprocess"

@@ -1,0 +1,115 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DESCRIPTION = "Simulate a timeout in the transfer function causing an unhandled exception"
+
+
+class TestGenerateCommand:
+    def test_generate_prints_a_fault_summary(self, capsys):
+        exit_code = main(["generate", "--target", "bank", "--description", DESCRIPTION])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "fault fault-" in captured.out
+        assert "def transfer" in captured.out
+
+    def test_generate_json_prints_the_response_envelope(self, capsys):
+        exit_code = main(
+            ["generate", "--target", "bank", "--description", DESCRIPTION, "--json"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        envelope = json.loads(captured.out)
+        assert envelope["status"] == "ok"
+        assert envelope["kind"] == "generate"
+        assert envelope["schema_version"] == "1.0"
+        assert envelope["payload"]["fault"]["fault_id"].startswith("fault-")
+
+    def test_generate_with_code_file(self, tmp_path, capsys):
+        code = "def charge(amount):\n    return {'charged': amount}\n"
+        code_file = tmp_path / "module.py"
+        code_file.write_text(code)
+        exit_code = main(
+            [
+                "generate",
+                "--description",
+                "Raise an unexpected exception in the charge function",
+                "--code-file",
+                str(code_file),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "def charge" in captured.out
+
+    def test_invalid_request_exits_with_code_two(self, capsys):
+        exit_code = main(["generate", "--description", "   "])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "invalid request" in captured.err
+
+
+class TestDatasetCommand:
+    def test_dataset_reports_record_count(self, capsys):
+        exit_code = main(["dataset", "--target", "bank", "--samples", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "3 records" in captured.out
+
+    def test_dataset_streams_to_jsonl(self, tmp_path, capsys):
+        destination = tmp_path / "records.jsonl"
+        exit_code = main(
+            ["dataset", "--target", "bank", "--samples", "3", "--jsonl", str(destination)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert destination.exists()
+        assert str(destination) in captured.out
+        assert len(destination.read_text().splitlines()) == 3
+
+
+class TestCampaignCommand:
+    @pytest.mark.pool
+    def test_campaign_summarises_each_technique(self, capsys):
+        exit_code = main(
+            [
+                "campaign",
+                "--target",
+                "bank",
+                "--scenario",
+                DESCRIPTION,
+                "--scenario",
+                "Silently corrupt the amount returned by the transfer function",
+                "--budget",
+                "2",
+                "--mode",
+                "inprocess",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "neural" in captured.out
+        assert "predefined-model" in captured.out
+        assert "random" in captured.out
+
+    def test_unknown_technique_is_rejected(self, capsys):
+        exit_code = main(
+            [
+                "campaign",
+                "--target",
+                "bank",
+                "--scenario",
+                DESCRIPTION,
+                "--technique",
+                "llm-magic",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown techniques" in captured.err

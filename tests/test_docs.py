@@ -20,6 +20,7 @@ import repro.execution
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_FILES = [
     REPO_ROOT / "README.md",
+    REPO_ROOT / "docs" / "API.md",
     REPO_ROOT / "docs" / "ARCHITECTURE.md",
     REPO_ROOT / "docs" / "EXECUTION.md",
 ]
@@ -36,16 +37,26 @@ class TestDocsExistAndAreLinked:
         for path in DOC_FILES:
             assert path.is_file(), f"missing documentation file: {path}"
 
-    def test_readme_links_both_docs(self):
+    def test_readme_links_all_docs(self):
         readme = (REPO_ROOT / "README.md").read_text()
+        assert "docs/API.md" in readme
         assert "docs/ARCHITECTURE.md" in readme
         assert "docs/EXECUTION.md" in readme
 
     def test_docs_cross_reference_each_other(self):
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
         architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
         execution = (REPO_ROOT / "docs" / "EXECUTION.md").read_text()
         assert "EXECUTION.md" in architecture
         assert "ARCHITECTURE.md" in execution
+        assert "ARCHITECTURE.md" in api
+        assert "API.md" in architecture
+
+    def test_serving_example_is_referenced(self):
+        example = REPO_ROOT / "examples" / "serving_engine.py"
+        assert example.is_file()
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        assert "examples/serving_engine.py" in api
 
     def test_batched_example_is_referenced(self):
         example = REPO_ROOT / "examples" / "batched_dataset_generation.py"
