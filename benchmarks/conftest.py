@@ -8,6 +8,7 @@ so that EXPERIMENTS.md can be checked against concrete artefacts after a run.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -24,13 +25,21 @@ from repro import (
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Quick-mode (CI smoke) runs write to ``results/quick/`` — an ignored
+#: scratch directory — so they can never clobber the committed full-mode
+#: numbers that ``check_floors.py`` gates CI against.
+QUICK_RESULTS_DIR = RESULTS_DIR / "quick"
+
 
 def write_result(name: str, payload: dict, table: str | None = None) -> None:
-    """Persist a benchmark's regenerated table/series under ``benchmarks/results``."""
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2, sort_keys=True))
+    """Persist a benchmark's regenerated table/series under ``benchmarks/results``
+    (or ``benchmarks/results/quick`` when ``BENCH_QUICK`` is set)."""
+    quick = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+    results_dir = QUICK_RESULTS_DIR if quick else RESULTS_DIR
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / f"{name}.json").write_text(json.dumps(payload, indent=2, sort_keys=True))
     if table is not None:
-        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+        (results_dir / f"{name}.txt").write_text(table + "\n")
     print(f"\n[{name}]")
     if table:
         print(table)

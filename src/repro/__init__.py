@@ -57,6 +57,7 @@ from .config import (
     ModelConfig,
     PipelineConfig,
     RLHFConfig,
+    ServerConfig,
     SFTConfig,
 )
 from .core import (
@@ -67,6 +68,7 @@ from .core import (
     WorkflowTrace,
 )
 from .errors import ReproError
+from .server import FaultInjectionServer
 from .types import (
     FailureMode,
     FaultDescription,
@@ -92,6 +94,7 @@ __all__ = [
     "ExecutionConfig",
     "FailureMode",
     "FaultInjectionEngine",
+    "FaultInjectionServer",
     "GenerateRequest",
     "RLHFRequest",
     "Response",
@@ -111,6 +114,7 @@ __all__ = [
     "RefinementSession",
     "ReproError",
     "SFTConfig",
+    "ServerConfig",
     "TriggerKind",
     "WorkflowTrace",
     "__version__",

@@ -17,11 +17,13 @@ the migration guide from ``NeuralFaultInjector``.
 from .engine import FaultInjectionEngine
 from .requests import (
     CAMPAIGN_TECHNIQUES,
+    REQUEST_KINDS,
     CampaignRequest,
     DatasetRequest,
     GenerateRequest,
     Request,
     RLHFRequest,
+    request_from_dict,
 )
 from .responses import (
     SCHEMA_VERSION,
@@ -32,6 +34,7 @@ from .responses import (
     Response,
     RLHFPayload,
     Timings,
+    WirePayload,
 )
 from .scheduler import ResponseHandle, Scheduler, SchedulerStats, Ticket
 
@@ -45,6 +48,7 @@ __all__ = [
     "FaultInjectionEngine",
     "GeneratePayload",
     "GenerateRequest",
+    "REQUEST_KINDS",
     "RLHFPayload",
     "RLHFRequest",
     "Request",
@@ -55,4 +59,6 @@ __all__ = [
     "SchedulerStats",
     "Ticket",
     "Timings",
+    "WirePayload",
+    "request_from_dict",
 ]

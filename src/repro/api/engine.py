@@ -192,8 +192,11 @@ class FaultInjectionEngine:
             yield completed.get().result()
 
     def serving_stats(self) -> dict:
-        """Scheduler batching observations (dispatch counts, batch sizes)."""
-        return self._scheduler.stats.to_dict()
+        """Scheduler batching observations (dispatch counts, batch sizes,
+        current queue depth)."""
+        stats = self._scheduler.stats.to_dict()
+        stats["queue_depth"] = self._scheduler.queue_depth
+        return stats
 
     # -- cache persistence -------------------------------------------------------------
 

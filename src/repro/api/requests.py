@@ -20,7 +20,7 @@ de-duplicated safely by serving frontends.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any
+from typing import Any, Mapping
 
 from ..config import EXECUTION_MODES
 from ..errors import RequestError
@@ -29,6 +29,34 @@ from ..targets.registry import TARGET_REGISTRY
 
 #: Campaign techniques understood by :class:`CampaignRequest`.
 CAMPAIGN_TECHNIQUES = ("neural", "predefined-model", "random")
+
+
+def _decode(cls, data: Mapping[str, Any]):
+    """Shared ``from_dict`` codec: a JSON object → one frozen request.
+
+    The wire contract is strict: ``data`` must be a JSON object, a ``kind``
+    key (if present) must match the request class, and unknown keys are
+    rejected by name — a serving front-end should never silently drop a
+    field a client thought it was setting.  Python-level type mismatches
+    surface as :class:`~repro.errors.RequestError` too, so HTTP layers can
+    map every malformed body to one status code.
+    """
+    if not isinstance(data, Mapping):
+        raise RequestError(f"{cls.kind} request body must be a JSON object, got {type(data).__name__}")
+    payload = dict(data)
+    kind = payload.pop("kind", cls.kind)
+    if kind != cls.kind:
+        raise RequestError(f"kind mismatch: expected {cls.kind!r}, got {kind!r}")
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise RequestError(f"unknown {cls.kind} request fields {unknown}; known fields: {sorted(known)}")
+    try:
+        return cls(**payload)
+    except RequestError:
+        raise
+    except TypeError as exc:
+        raise RequestError(f"malformed {cls.kind} request: {exc}") from exc
 
 
 def _require_target(name: str, field_name: str = "target") -> None:
@@ -122,6 +150,11 @@ class GenerateRequest:
         """JSON-able view of the request (used by logs and the CLI)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "GenerateRequest":
+        """Decode a JSON object into a validated request (strict fields)."""
+        return _decode(cls, data)
+
 
 @dataclass(frozen=True)
 class DatasetRequest:
@@ -165,6 +198,11 @@ class DatasetRequest:
         data = {f.name: getattr(self, f.name) for f in fields(self)}
         data["targets"] = list(self.targets)
         return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DatasetRequest":
+        """Decode a JSON object into a validated request (strict fields)."""
+        return _decode(cls, data)
 
 
 @dataclass(frozen=True)
@@ -220,6 +258,11 @@ class CampaignRequest:
         data["techniques"] = list(self.techniques)
         return data
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignRequest":
+        """Decode a JSON object into a validated request (strict fields)."""
+        return _decode(cls, data)
+
 
 @dataclass(frozen=True)
 class RLHFRequest:
@@ -269,6 +312,42 @@ class RLHFRequest:
         data["descriptions"] = list(self.descriptions)
         return data
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RLHFRequest":
+        """Decode a JSON object into a validated request (strict fields)."""
+        return _decode(cls, data)
+
 
 #: Every typed request kind the engine accepts.
 Request = GenerateRequest | DatasetRequest | CampaignRequest | RLHFRequest
+
+#: Wire name → request class, the dispatch table of the JSON codec.
+REQUEST_KINDS: dict[str, type] = {
+    GenerateRequest.kind: GenerateRequest,
+    DatasetRequest.kind: DatasetRequest,
+    CampaignRequest.kind: CampaignRequest,
+    RLHFRequest.kind: RLHFRequest,
+}
+
+
+def request_from_dict(kind: str, data: Mapping[str, Any]) -> Request:
+    """Decode a JSON object into the typed request named by ``kind``.
+
+    Args:
+        kind: Wire name of the request type (``generate`` / ``dataset`` /
+            ``campaign`` / ``rlhf``), e.g. the tail of an HTTP route.
+        data: The parsed JSON body.
+
+    Returns:
+        A validated frozen request of the matching class.
+
+    Raises:
+        RequestError: If ``kind`` is unknown or ``data`` fails validation.
+    """
+    try:
+        cls = REQUEST_KINDS[kind]
+    except KeyError:
+        raise RequestError(
+            f"unknown request kind {kind!r}; available: {sorted(REQUEST_KINDS)}"
+        ) from None
+    return cls.from_dict(data)

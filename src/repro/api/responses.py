@@ -16,8 +16,9 @@ are inherently non-deterministic and are documented as such in docs/API.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
+from ..errors import RequestError
 from ..llm.generator import GenerationCandidate
 from ..types import GeneratedFault, InjectionOutcome
 
@@ -44,6 +45,11 @@ class ErrorInfo:
         """Build an error record from a raised exception."""
         return cls(type=type(exc).__name__, message=str(exc))
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ErrorInfo":
+        """Decode the wire view produced by :meth:`to_dict`."""
+        return cls(type=str(data.get("type", "")), message=str(data.get("message", "")))
+
 
 @dataclass(frozen=True)
 class Timings:
@@ -57,12 +63,30 @@ class Timings:
         return self.queued_seconds + self.execution_seconds
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-able view of the timings (microsecond precision)."""
+        """JSON-able view of the timings (microsecond precision).
+
+        The wire total is derived from the *rounded* components — not from
+        ``total_seconds`` directly — so decoding an envelope and re-encoding
+        it (:meth:`from_dict` → :meth:`to_dict`) is byte-exact.
+        """
+        queued = round(self.queued_seconds, 6)
+        execution = round(self.execution_seconds, 6)
         return {
-            "queued_seconds": round(self.queued_seconds, 6),
-            "execution_seconds": round(self.execution_seconds, 6),
-            "total_seconds": round(self.total_seconds, 6),
+            "queued_seconds": queued,
+            "execution_seconds": execution,
+            "total_seconds": round(queued + execution, 6),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Timings":
+        """Decode the wire view (``total_seconds`` is derived, not stored)."""
+        try:
+            return cls(
+                queued_seconds=float(data.get("queued_seconds", 0.0)),
+                execution_seconds=float(data.get("execution_seconds", 0.0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"malformed timings: {exc}") from exc
 
 
 @dataclass
@@ -170,6 +194,27 @@ class RLHFPayload:
         return {"report": dict(self.report), "prompts": self.prompts}
 
 
+@dataclass(frozen=True)
+class WirePayload:
+    """A decoded payload as received off the wire (plain JSON data).
+
+    Remote clients cannot rebuild the typed payload classes — those hold
+    library objects (:class:`~repro.types.GeneratedFault`, outcomes) that the
+    wire deliberately flattens.  :meth:`Response.from_dict` therefore wraps
+    the payload object in this shim, which round-trips byte-identically
+    through :meth:`to_dict`.
+    """
+
+    data: Mapping[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        """The payload exactly as it appeared on the wire."""
+        return dict(self.data)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+
 @dataclass
 class Response:
     """The versioned envelope every request resolves to."""
@@ -177,7 +222,7 @@ class Response:
     request_id: str
     kind: str
     status: str
-    payload: GeneratePayload | DatasetPayload | CampaignPayload | RLHFPayload | None = None
+    payload: GeneratePayload | DatasetPayload | CampaignPayload | RLHFPayload | WirePayload | None = None
     error: ErrorInfo | None = None
     timings: Timings = field(default_factory=Timings)
     schema_version: str = SCHEMA_VERSION
@@ -198,3 +243,41 @@ class Response:
             "error": self.error.to_dict() if self.error is not None else None,
             "timings": self.timings.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Response":
+        """Decode a wire envelope (e.g. an HTTP response body) back into a
+        :class:`Response`.
+
+        The payload comes back as a :class:`WirePayload` (plain JSON data);
+        everything else — ids, status, error, timings, schema version — is
+        restored as typed objects.  ``Response.from_dict(r.to_dict())``
+        round-trips the wire form exactly.
+
+        Raises:
+            RequestError: If ``data`` is not a JSON object or misses the
+                envelope's required keys.
+        """
+        if not isinstance(data, Mapping):
+            raise RequestError(f"envelope must be a JSON object, got {type(data).__name__}")
+        missing = [key for key in ("request_id", "kind", "status") if key not in data]
+        if missing:
+            raise RequestError(f"envelope is missing required keys {missing}")
+        payload = data.get("payload")
+        if payload is not None and not isinstance(payload, Mapping):
+            raise RequestError("envelope payload must be a JSON object or null")
+        error = data.get("error")
+        if error is not None and not isinstance(error, Mapping):
+            raise RequestError("envelope error must be a JSON object or null")
+        timings = data.get("timings") or {}
+        if not isinstance(timings, Mapping):
+            raise RequestError("envelope timings must be a JSON object")
+        return cls(
+            request_id=str(data["request_id"]),
+            kind=str(data["kind"]),
+            status=str(data["status"]),
+            payload=WirePayload(dict(payload)) if payload is not None else None,
+            error=ErrorInfo.from_dict(error) if error is not None else None,
+            timings=Timings.from_dict(timings),
+            schema_version=str(data.get("schema_version", SCHEMA_VERSION)),
+        )

@@ -148,6 +148,12 @@ class Scheduler:
 
     # -- client side ----------------------------------------------------------------
 
+    @property
+    def queue_depth(self) -> int:
+        """Tickets currently waiting in the queue (serving observability)."""
+        with self._cond:
+            return len(self._queue)
+
     def submit(self, ticket: Ticket) -> None:
         """Enqueue a ticket (thread-safe); starts the dispatch thread lazily.
 

@@ -8,6 +8,8 @@ CLI speaks exactly the same contract as library clients:
 * ``python -m repro generate --target bank --description "..."``
 * ``python -m repro dataset --target bank --samples 5``
 * ``python -m repro campaign --target bank --scenario "..." --scenario "..."``
+* ``python -m repro serve --port 8080`` — the HTTP/JSON front-end
+  (docs/SERVING.md) speaking the same envelopes over a socket
 
 See docs/API.md for the request/response reference and
 ``examples/serving_engine.py`` for the library-level equivalent.
@@ -61,7 +63,65 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--technique", action="append", default=None, help="technique (repeatable)")
     campaign.add_argument("--budget", type=int, default=None, help="baseline fault budget")
     campaign.add_argument("--mode", default=None, help="sandbox mode: inprocess|subprocess|pool")
+
+    serve = commands.add_parser(
+        "serve", help="serve the engine over HTTP/JSON (see docs/SERVING.md)"
+    )
+    serve.add_argument("--seed", type=int, default=None, help="pipeline seed override")
+    serve.add_argument("--host", default=None, help="bind address (default: config host)")
+    serve.add_argument("--port", type=int, default=None, help="bind port (0 = ephemeral)")
+    serve.add_argument("--mode", default=None, help="default sandbox mode: inprocess|subprocess|pool")
+    serve.add_argument("--max-workers", type=int, default=None, help="sandbox worker pool size")
+    serve.add_argument(
+        "--queue-delay",
+        type=float,
+        default=None,
+        help="scheduler coalescing window in seconds (EngineConfig.max_queue_delay_seconds)",
+    )
     return parser
+
+
+def _serve_command(args: argparse.Namespace) -> int:
+    """Run ``python -m repro serve``: serve until interrupted, then drain."""
+    from dataclasses import replace
+
+    from .config import ServerConfig
+    from .server import FaultInjectionServer
+
+    try:
+        config = PipelineConfig(seed=args.seed) if args.seed is not None else PipelineConfig()
+        execution = config.execution
+        if args.mode is not None:
+            execution = replace(execution, default_mode=args.mode)
+        if args.max_workers is not None:
+            execution = replace(execution, max_workers=args.max_workers)
+        engine_config = config.engine
+        if args.queue_delay is not None:
+            engine_config = replace(engine_config, max_queue_delay_seconds=args.queue_delay)
+        config = replace(config, execution=execution, engine=engine_config)
+        server_config = config.server
+        overrides = {}
+        if args.host is not None:
+            overrides["host"] = args.host
+        if args.port is not None:
+            overrides["port"] = args.port
+        if overrides:
+            server_config = replace(server_config, **overrides)
+        if not isinstance(server_config, ServerConfig):  # pragma: no cover - defensive
+            raise ReproError("server configuration is missing")
+        server = FaultInjectionServer(config=config, server_config=server_config)
+    except (ReproError, OSError) as exc:
+        # OSError covers socket binding (port in use, privileged port).
+        print(f"cannot start server: {exc}", file=sys.stderr)
+        return 2
+    print(f"serving on {server.url} (Ctrl-C to drain and stop)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("draining...", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
 
 
 def _request_from_args(args: argparse.Namespace):
@@ -149,6 +209,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "serve":
+        return _serve_command(args)
     config = PipelineConfig(seed=args.seed) if args.seed is not None else PipelineConfig()
     try:
         request = _request_from_args(args)

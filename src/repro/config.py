@@ -234,6 +234,40 @@ class EngineConfig:
 
 
 @dataclass
+class ServerConfig:
+    """Behaviour of the HTTP/JSON serving front-end (:mod:`repro.server`).
+
+    ``request_retention`` bounds how many *completed* async envelopes the
+    server keeps for ``GET /v1/requests/<id>`` polling — oldest finished
+    tickets are evicted first, pending tickets are never evicted.
+    ``max_body_bytes`` caps accepted request bodies (HTTP 413 beyond it);
+    ``drain_timeout_seconds`` bounds how long a graceful shutdown waits for
+    queued async tickets to resolve before closing the engine anyway.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    request_retention: int = 256
+    max_body_bytes: int = 1 << 20
+    drain_timeout_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.host, str) or not self.host:
+            raise ConfigurationError("host must be a non-empty string")
+        if not (0 <= self.port <= 65535):
+            raise ConfigurationError("port must be in [0, 65535] (0 = ephemeral)")
+        if self.request_retention <= 0:
+            raise ConfigurationError("request_retention must be positive")
+        if self.max_body_bytes <= 0:
+            raise ConfigurationError("max_body_bytes must be positive")
+        if self.drain_timeout_seconds <= 0:
+            raise ConfigurationError("drain_timeout_seconds must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
 class PipelineConfig:
     """Top-level configuration for the end-to-end pipeline (Fig. 1)."""
 
@@ -244,6 +278,7 @@ class PipelineConfig:
     dataset: DatasetConfig = field(default_factory=DatasetConfig)
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     engine: EngineConfig = field(default_factory=EngineConfig)
+    server: ServerConfig = field(default_factory=ServerConfig)
     max_refinement_iterations: int = 5
     use_code_context: bool = True
     seed: int = 23
@@ -261,6 +296,7 @@ class PipelineConfig:
             "dataset": self.dataset.to_dict(),
             "execution": self.execution.to_dict(),
             "engine": self.engine.to_dict(),
+            "server": self.server.to_dict(),
             "max_refinement_iterations": self.max_refinement_iterations,
             "use_code_context": self.use_code_context,
             "seed": self.seed,
@@ -283,6 +319,7 @@ class PipelineConfig:
             dataset=build(DatasetConfig, "dataset"),
             execution=build(ExecutionConfig, "execution"),
             engine=build(EngineConfig, "engine"),
+            server=build(ServerConfig, "server"),
             max_refinement_iterations=int(data.get("max_refinement_iterations", 5)),
             use_code_context=bool(data.get("use_code_context", True)),
             seed=int(data.get("seed", 23)),

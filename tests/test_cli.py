@@ -113,3 +113,19 @@ class TestCampaignCommand:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "unknown techniques" in captured.err
+
+
+class TestServeCommand:
+    def test_bind_failure_exits_with_code_two(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            port = blocker.getsockname()[1]
+            exit_code = main(["serve", "--port", str(port)])
+        finally:
+            blocker.close()
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot start server" in captured.err

@@ -23,6 +23,7 @@ DOC_FILES = [
     REPO_ROOT / "docs" / "API.md",
     REPO_ROOT / "docs" / "ARCHITECTURE.md",
     REPO_ROOT / "docs" / "EXECUTION.md",
+    REPO_ROOT / "docs" / "SERVING.md",
 ]
 
 _BLOCK_PATTERN = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -42,21 +43,31 @@ class TestDocsExistAndAreLinked:
         assert "docs/API.md" in readme
         assert "docs/ARCHITECTURE.md" in readme
         assert "docs/EXECUTION.md" in readme
+        assert "docs/SERVING.md" in readme
 
     def test_docs_cross_reference_each_other(self):
         api = (REPO_ROOT / "docs" / "API.md").read_text()
         architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
         execution = (REPO_ROOT / "docs" / "EXECUTION.md").read_text()
+        serving = (REPO_ROOT / "docs" / "SERVING.md").read_text()
         assert "EXECUTION.md" in architecture
         assert "ARCHITECTURE.md" in execution
         assert "ARCHITECTURE.md" in api
         assert "API.md" in architecture
+        assert "SERVING.md" in api
+        assert "API.md" in serving
 
     def test_serving_example_is_referenced(self):
         example = REPO_ROOT / "examples" / "serving_engine.py"
         assert example.is_file()
         api = (REPO_ROOT / "docs" / "API.md").read_text()
         assert "examples/serving_engine.py" in api
+
+    def test_http_client_example_is_referenced(self):
+        example = REPO_ROOT / "examples" / "http_client.py"
+        assert example.is_file()
+        serving = (REPO_ROOT / "docs" / "SERVING.md").read_text()
+        assert "examples/http_client.py" in serving
 
     def test_batched_example_is_referenced(self):
         example = REPO_ROOT / "examples" / "batched_dataset_generation.py"
