@@ -3,8 +3,8 @@
 
 The repo commits the benchmark trajectory under ``benchmarks/results/*.json``
 and promises floors in ROADMAP.md (pooled execution >= 3x, pooled dataset
-generation >= 2x, batched policy inference >= 3x, concurrent engine serving
->= 3x, concurrent HTTP serving >= 3x).  CI runs this script against the
+generation >= 2x, batched policy inference >= 3x, compiled grammar decode
+>= 3x, concurrent engine serving >= 3x, concurrent HTTP serving >= 3x).  CI runs this script against the
 committed full-mode numbers *and* against the quick-mode smoke output
 (``benchmarks/results/quick``), so a regression fails the build instead of
 silently re-measuring lower.
@@ -63,6 +63,18 @@ FLOORS: list[tuple[str, str, tuple[str, ...], float]] = [
         "policy_inference.json",
         "batched RLHF round vs per-sample",
         ("workloads", "rlhf_round", "speedup"),
+        3.0,
+    ),
+    (
+        "compiled_decode.json",
+        "compiled grammar decode vs interpreted (generation)",
+        ("workloads", "generation_decode", "speedup"),
+        3.0,
+    ),
+    (
+        "compiled_decode.json",
+        "cached automaton compilation vs recompiling",
+        ("workloads", "compile_cache", "speedup"),
         3.0,
     ),
     (

@@ -211,19 +211,21 @@ class FaultInjectionEngine:
             path: Destination file; parent directories are created.
 
         Returns:
-            Entry counts per cache (``extract``, ``encoder``, ``render``).
+            Entry counts per cache (``extract``, ``encoder``, ``render``,
+            ``compiled``).
         """
         payload = {
             "version": _CACHE_FORMAT_VERSION,
             "extract": self.extractor.export_cache(),
             "encoder": self.generator.encoder.export_cache(),
             "render": self.generator.grammar.export_cache(),
+            "compiled": self.generator.compiler.export_cache(),
         }
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("wb") as stream:
             pickle.dump(payload, stream)
-        return {name: len(payload[name]) for name in ("extract", "encoder", "render")}
+        return {name: len(payload[name]) for name in ("extract", "encoder", "render", "compiled")}
 
     def load_caches(self, path: str | Path) -> dict[str, int]:
         """Restore caches saved by :meth:`save_caches` (trusted files only).
@@ -252,6 +254,8 @@ class FaultInjectionEngine:
             "extract": self.extractor.import_cache(payload.get("extract", {})),
             "encoder": self.generator.encoder.import_cache(payload.get("encoder", {})),
             "render": self.generator.grammar.import_cache(payload.get("render", {})),
+            # Absent in files written before the compiled-grammar cache existed.
+            "compiled": self.generator.compiler.import_cache(payload.get("compiled", {})),
         }
 
     # -- preparation (dataset generation + fine-tuning) --------------------------------
@@ -505,17 +509,23 @@ class FaultInjectionEngine:
         if not live:
             return
 
+        compiled = self.config.model.compiled_decode
         try:
-            distributions = self.generator.prompt_distributions([p for _, p in live])
+            distributions = self.generator.prompt_distributions(
+                [p for _, p in live], constrained=not compiled
+            )
         except ReproError as exc:
             for ticket, _prompt in live:
                 self._resolve_error(ticket, exc, dispatch_started)
             return
         survivors: list[tuple[Ticket, GenerationCandidate]] = []
+        decode_seconds: dict[int, float] = {}
         for row, (ticket, prompt) in enumerate(live):
             request = ticket.request
             row_distributions = {slot: matrix[row] for slot, matrix in distributions.items()}
+            decode_started = time.monotonic()
             try:
+                automaton = self.generator.compiler.compile(prompt) if compiled else None
                 candidate = self.generator.decode_prompt(
                     prompt,
                     row_distributions,
@@ -524,10 +534,12 @@ class FaultInjectionEngine:
                     temperature=request.temperature,
                     top_k=request.top_k,
                     top_p=request.top_p,
+                    automaton=automaton,
                 )
             except ReproError as exc:
                 self._resolve_error(ticket, exc, dispatch_started)
                 continue
+            decode_seconds[id(ticket)] = time.monotonic() - decode_started
             survivors.append((ticket, candidate))
 
         outcomes = self._execution_stage(survivors, dispatch_started)
@@ -537,7 +549,9 @@ class FaultInjectionEngine:
             payload = GeneratePayload.from_candidate(
                 candidate, outcome=outcomes.get(id(ticket)), batch_size=len(live)
             )
-            self._resolve_ok(ticket, payload, dispatch_started)
+            self._resolve_ok(
+                ticket, payload, dispatch_started, decode_seconds=decode_seconds[id(ticket)]
+            )
 
     def _nlp_stage(
         self, tickets: list[Ticket]
@@ -742,14 +756,16 @@ class FaultInjectionEngine:
                 mode = "subprocess"
         return mode
 
-    def _resolve_ok(self, ticket: Ticket, payload, dispatch_started: float) -> None:
+    def _resolve_ok(
+        self, ticket: Ticket, payload, dispatch_started: float, decode_seconds: float = 0.0
+    ) -> None:
         ticket.handle._resolve(
             Response(
                 request_id=ticket.handle.request_id,
                 kind=ticket.request.kind,
                 status="ok",
                 payload=payload,
-                timings=self._timings(ticket, dispatch_started),
+                timings=self._timings(ticket, dispatch_started, decode_seconds),
             )
         )
 
@@ -765,11 +781,12 @@ class FaultInjectionEngine:
         )
 
     @staticmethod
-    def _timings(ticket: Ticket, dispatch_started: float) -> Timings:
+    def _timings(ticket: Ticket, dispatch_started: float, decode_seconds: float = 0.0) -> Timings:
         now = time.monotonic()
         return Timings(
             queued_seconds=max(0.0, dispatch_started - ticket.submitted_at),
             execution_seconds=max(0.0, now - dispatch_started),
+            decode_seconds=max(0.0, decode_seconds),
         )
 
     def _runner_for(self, target: TargetSystem | str) -> ExperimentRunner:

@@ -53,10 +53,17 @@ class ErrorInfo:
 
 @dataclass(frozen=True)
 class Timings:
-    """Coarse serving timings of one request (wall-clock, non-deterministic)."""
+    """Coarse serving timings of one request (wall-clock, non-deterministic).
+
+    ``decode_seconds`` is the slice of ``execution_seconds`` the engine spent
+    in constrained decoding for this request (zero for request kinds that do
+    not decode); it is a component breakdown, so the wire total remains
+    ``queued + execution``.
+    """
 
     queued_seconds: float = 0.0
     execution_seconds: float = 0.0
+    decode_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -74,6 +81,7 @@ class Timings:
         return {
             "queued_seconds": queued,
             "execution_seconds": execution,
+            "decode_seconds": round(self.decode_seconds, 6),
             "total_seconds": round(queued + execution, 6),
         }
 
@@ -84,6 +92,7 @@ class Timings:
             return cls(
                 queued_seconds=float(data.get("queued_seconds", 0.0)),
                 execution_seconds=float(data.get("execution_seconds", 0.0)),
+                decode_seconds=float(data.get("decode_seconds", 0.0)),
             )
         except (TypeError, ValueError) as exc:
             raise RequestError(f"malformed timings: {exc}") from exc

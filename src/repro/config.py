@@ -17,11 +17,17 @@ from .errors import ConfigurationError
 class ModelConfig:
     """Hyper-parameters of the fault-generation policy network.
 
-    ``encoder_cache_size`` and ``render_cache_size`` bound the prompt-keyed
-    memoization caches of :class:`~repro.llm.features.FeatureEncoder` and
-    :class:`~repro.llm.grammar.CodeGrammar` (LRU entries; ``0`` disables a
-    cache entirely, which the benchmarks use for the uncached per-sample
-    reference path).
+    ``encoder_cache_size``, ``render_cache_size``, and
+    ``compiled_cache_size`` bound the prompt-keyed memoization caches of
+    :class:`~repro.llm.features.FeatureEncoder`,
+    :class:`~repro.llm.grammar.CodeGrammar`, and
+    :class:`~repro.llm.compiled_grammar.GrammarCompiler` (LRU entries; ``0``
+    disables a cache entirely, which the benchmarks use for the uncached
+    per-sample reference path).  ``compiled_decode`` routes generation
+    through the compiled-grammar decode engine (cached decision automatons
+    with jump-forward over force-determined slots); it is behaviourally
+    equivalent to the interpreted path — identical faults and RNG streams —
+    and exists as a flag for the ablation benchmark and differential tests.
     """
 
     embedding_dim: int = 32
@@ -36,6 +42,8 @@ class ModelConfig:
     spec_constraint_threshold: float = 0.3
     encoder_cache_size: int = 2048
     render_cache_size: int = 1024
+    compiled_decode: bool = True
+    compiled_cache_size: int = 512
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.spec_constraint_threshold <= 1.0):
@@ -50,7 +58,11 @@ class ModelConfig:
             raise ConfigurationError("top_k must be positive when set")
         if self.top_p is not None and not (0.0 < self.top_p <= 1.0):
             raise ConfigurationError("top_p must be in (0, 1] when set")
-        if self.encoder_cache_size < 0 or self.render_cache_size < 0:
+        if (
+            self.encoder_cache_size < 0
+            or self.render_cache_size < 0
+            or self.compiled_cache_size < 0
+        ):
             raise ConfigurationError("cache sizes must be non-negative (0 disables)")
 
     def to_dict(self) -> dict[str, Any]:

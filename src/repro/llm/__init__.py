@@ -6,12 +6,20 @@ Components:
 * :class:`PolicyNetwork` — multi-head softmax policy over the decision schema;
 * :class:`Decoder` — greedy / temperature / top-k / nucleus decoding;
 * :class:`CodeGrammar` — decisions → syntactically valid faulty Python;
+* :class:`GrammarCompiler` / :class:`DecisionAutomaton` — compiled decoding
+  constraints with jump-forward over force-determined decision slots;
 * :class:`FaultGenerator` — the LLM-like facade used by the pipeline;
 * :class:`SFTTrainer` — supervised fine-tuning on SFI-generated datasets;
 * :func:`save_checkpoint` / :func:`load_checkpoint` — model persistence.
 """
 
 from .checkpoints import load_checkpoint, save_checkpoint
+from .compiled_grammar import (
+    DecisionAutomaton,
+    DecodePlan,
+    GrammarCompiler,
+    constraint_slots,
+)
 from .decisions import (
     DECISION_SLOTS,
     DecisionVector,
@@ -30,7 +38,9 @@ __all__ = [
     "DECISION_SLOTS",
     "BatchForwardResult",
     "CodeGrammar",
+    "DecisionAutomaton",
     "DecisionVector",
+    "DecodePlan",
     "Decoder",
     "DecodingResult",
     "FaultGenerator",
@@ -38,11 +48,13 @@ __all__ = [
     "ForwardResult",
     "GenerationCandidate",
     "Gradients",
+    "GrammarCompiler",
     "PolicyNetwork",
     "RenderedFault",
     "SFTExample",
     "SFTReport",
     "SFTTrainer",
+    "constraint_slots",
     "decision_distance",
     "load_checkpoint",
     "reference_decisions",

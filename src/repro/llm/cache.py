@@ -1,0 +1,105 @@
+"""A small thread-safe keyed LRU cache shared by the model-layer memoizers.
+
+:class:`~repro.llm.grammar.CodeGrammar` (rendered faults) and
+:class:`~repro.llm.compiled_grammar.GrammarCompiler` (compiled decision
+automatons) memoize prompt-keyed artefacts with identical semantics: bounded
+LRU entries, hit/miss counters exposed through ``cache_info()``, and
+``export``/``import`` snapshots for cross-process cache persistence
+(:meth:`repro.api.FaultInjectionEngine.save_caches`).  This module holds the
+shared implementation so both caches stay byte-for-byte consistent in their
+accounting.
+
+A ``max_size`` of ``0`` disables the cache: lookups return ``None`` without
+counting, stores are dropped, and imports install nothing — callers that want
+the uncached reference path (the benchmarks) simply construct with size 0.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Mapping
+
+
+class KeyedLruCache:
+    """Bounded, thread-safe LRU mapping with persistence hooks.
+
+    Values are shared between callers — treat cached objects as immutable (or
+    accept approximate mutation, as the automaton jump counters do).
+    """
+
+    def __init__(self, max_size: int) -> None:
+        self._max_size = max(0, int(max_size))
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores anything (``max_size > 0``)."""
+        return self._max_size > 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value for ``key`` (refreshing recency), else ``None``."""
+        if self._max_size <= 0:
+            return None
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return value
+            self._misses += 1
+            return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Install ``key -> value``, evicting least-recently-used overflow."""
+        if self._max_size <= 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_size:
+                self._entries.popitem(last=False)
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/size counters in the shared cache-info layout."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._entries),
+                "max_size": self._max_size,
+            }
+
+    def export(self) -> dict[Hashable, Any]:
+        """A snapshot of the entries for cross-process persistence."""
+        with self._lock:
+            return dict(self._entries)
+
+    def import_entries(self, entries: Mapping[Hashable, Any]) -> int:
+        """Merge previously exported entries, respecting the LRU bound.
+
+        Existing keys keep their current value (a warm cache wins over a
+        stale snapshot).
+
+        Returns:
+            The number of entries actually installed.
+        """
+        if self._max_size <= 0:
+            return 0
+        installed = 0
+        with self._lock:
+            for key, value in entries.items():
+                if key not in self._entries:
+                    self._entries[key] = value
+                    installed += 1
+            while len(self._entries) > self._max_size:
+                self._entries.popitem(last=False)
+        return installed
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()

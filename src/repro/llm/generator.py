@@ -17,10 +17,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import ModelConfig
 from ..rng import SeededRNG
 from ..types import CodeContext, GeneratedFault, Patch, stable_fault_id
 from ..nlp.prompt_builder import GenerationPrompt
+from .compiled_grammar import (
+    DecisionAutomaton,
+    DecodePlan,
+    GrammarCompiler,
+    feedback_forced_slots,
+    spec_constraint,
+)
 from .decisions import DECISION_SLOTS, DecisionVector
 from .decoder import Decoder, DecodingResult
 from .features import FeatureEncoder
@@ -58,6 +67,7 @@ class FaultGenerator:
             rng=self._rng.fork("grammar"), cache_size=self.config.render_cache_size
         )
         self.decoder = decoder or Decoder(self.config, rng=self._rng.fork("decoder"))
+        self.compiler = GrammarCompiler(self.config)
 
     @property
     def model_version(self) -> str:
@@ -73,8 +83,24 @@ class FaultGenerator:
         iteration: int = 0,
         temperature: float | None = None,
     ) -> GenerationCandidate:
-        """Generate a single faulty code snippet for ``prompt``."""
+        """Generate a single faulty code snippet for ``prompt``.
+
+        With ``config.compiled_decode`` the decoder works on the raw policy
+        distributions through the prompt's cached
+        :class:`~repro.llm.compiled_grammar.DecisionAutomaton`; the fault and
+        RNG stream are identical to the interpreted constrained path.
+        """
         features = self.encoder.encode(prompt)
+        if self.config.compiled_decode:
+            distributions = self.policy.forward(features).probabilities
+            automaton = self.compiler.compile(prompt)
+            if greedy:
+                decoding = self.decoder.greedy(distributions, automaton=automaton)
+            else:
+                decoding = self.decoder.sample(
+                    distributions, temperature=temperature, automaton=automaton
+                )
+            return self._materialise(prompt, decoding, iteration)
         distributions = self._constrained_distributions(prompt, features)
         if greedy:
             decoding = self.decoder.greedy(distributions)
@@ -91,8 +117,19 @@ class FaultGenerator:
     ) -> list[GenerationCandidate]:
         """Generate ``count`` diverse candidates for tester review / ranking."""
         features = self.encoder.encode(prompt)
-        distributions = self._constrained_distributions(prompt, features)
-        decodings = self.decoder.diverse_candidates(distributions, count, temperature=temperature)
+        if self.config.compiled_decode:
+            distributions = self.policy.forward(features).probabilities
+            effective = temperature or max(self.config.temperature, 1.2)
+            decodings = self.decoder.diverse_candidates(
+                distributions, count, temperature=temperature,
+                automaton=self.compiler.compile(prompt),
+                plan=self.compiler.plan_for(
+                    prompt, distributions, effective, self.config.top_k, self.config.top_p
+                ),
+            )
+        else:
+            constrained = self._constrained_distributions(prompt, features)
+            decodings = self.decoder.diverse_candidates(constrained, count, temperature=temperature)
         return [self._materialise(prompt, decoding, iteration, salt=str(i)) for i, decoding in enumerate(decodings)]
 
     # -- batched generation -------------------------------------------------------
@@ -115,11 +152,21 @@ class FaultGenerator:
         """
         if not prompts:
             return []
-        distributions = self._constrained_distributions_batch(prompts)
-        if greedy:
-            decodings = self.decoder.greedy_batch(distributions)
+        if self.config.compiled_decode:
+            distributions = self._raw_distributions_batch(prompts)
+            automatons = [self.compiler.compile(prompt) for prompt in prompts]
+            if greedy:
+                decodings = self.decoder.greedy_batch(distributions, automatons=automatons)
+            else:
+                decodings = self.decoder.sample_batch(
+                    distributions, temperature=temperature, automatons=automatons
+                )
         else:
-            decodings = self.decoder.sample_batch(distributions, temperature=temperature)
+            distributions = self._constrained_distributions_batch(prompts)
+            if greedy:
+                decodings = self.decoder.greedy_batch(distributions)
+            else:
+                decodings = self.decoder.sample_batch(distributions, temperature=temperature)
         return [
             self._materialise(prompt, decoding, iteration)
             for prompt, decoding in zip(prompts, decodings)
@@ -138,29 +185,90 @@ class FaultGenerator:
         by prompt in input order, consuming the decoder RNG exactly as the
         per-prompt :meth:`candidates` loop does — so for a given seed both
         paths emit identical candidate sets.
+
+        With ``config.compiled_decode`` the decode is additionally
+        *dedup-aware*: rows that repeat a prompt (same cache key and
+        bit-identical distribution rows) share one compiled automaton, one
+        sampling :class:`~repro.llm.compiled_grammar.DecodePlan`, and one
+        RNG-free greedy head instead of recompiling and re-truncating per
+        row.  Sampled attempts still run per row in input order, so the RNG
+        stream — and therefore every candidate — stays identical to the
+        per-prompt loop.
         """
         if not prompts:
             return []
-        distributions = self._constrained_distributions_batch(prompts)
-        decoding_sets = self.decoder.diverse_candidates_batch(distributions, count, temperature=temperature)
-        return [
-            [
-                self._materialise(prompt, decoding, iteration, salt=str(i))
-                for i, decoding in enumerate(decodings)
+        if not self.config.compiled_decode:
+            distributions = self._constrained_distributions_batch(prompts)
+            decoding_sets = self.decoder.diverse_candidates_batch(
+                distributions, count, temperature=temperature
+            )
+            return [
+                [
+                    self._materialise(prompt, decoding, iteration, salt=str(i))
+                    for i, decoding in enumerate(decodings)
+                ]
+                for prompt, decodings in zip(prompts, decoding_sets)
             ]
-            for prompt, decodings in zip(prompts, decoding_sets)
-        ]
+        distributions = self._raw_distributions_batch(prompts)
+        effective = temperature or max(self.config.temperature, 1.2)
+        shared: dict[str, tuple[dict, DecisionAutomaton, DecodePlan, DecodingResult]] = {}
+        results: list[list[GenerationCandidate]] = []
+        for row, prompt in enumerate(prompts):
+            row_distributions = {slot: matrix[row] for slot, matrix in distributions.items()}
+            key = prompt.cache_key()
+            entry = shared.get(key)
+            if entry is not None and all(
+                np.array_equal(entry[0][slot], row_distributions[slot])
+                for slot in row_distributions
+            ):
+                _, automaton, plan, first = entry
+            else:
+                automaton = self.compiler.compile(prompt)
+                plan = self.compiler.plan_for(
+                    prompt, row_distributions, effective, self.config.top_k, self.config.top_p
+                )
+                first = self.decoder.greedy(row_distributions, automaton=automaton)
+                shared[key] = (row_distributions, automaton, plan, first)
+            decodings = self.decoder.diverse_candidates(
+                row_distributions,
+                count,
+                temperature=temperature,
+                automaton=automaton,
+                plan=plan,
+                first=first,
+            )
+            results.append(
+                [
+                    self._materialise(prompt, decoding, iteration, salt=str(i))
+                    for i, decoding in enumerate(decodings)
+                ]
+            )
+        return results
 
     # -- serving hooks ------------------------------------------------------------
 
-    def prompt_distributions(self, prompts: list[GenerationPrompt]) -> dict:
-        """Constrained per-slot ``(B, |slot|)`` distributions for a prompt batch.
+    def prompt_distributions(self, prompts: list[GenerationPrompt], constrained: bool = True) -> dict:
+        """Per-slot ``(B, |slot|)`` distributions for a prompt batch.
 
         The continuous-batching scheduler uses this to run one batched forward
         pass for every queued request, then decodes each row independently with
         :meth:`decode_prompt` (per-request decode parameters and seeds).
+
+        Args:
+            prompts: The prompt batch.
+            constrained: When true (default), constraints are applied by
+                copying the matrices and one-hotting pinned rows — the
+                interpreted path.  Compiled serving passes ``False`` to get
+                the raw policy outputs and applies constraints through each
+                prompt's automaton at decode time instead (do not mutate the
+                returned matrices in that case).
+
+        Returns:
+            Slot name → ``(B, |slot|)`` probability matrix.
         """
-        return self._constrained_distributions_batch(prompts)
+        if constrained:
+            return self._constrained_distributions_batch(prompts)
+        return self._raw_distributions_batch(prompts)
 
     def decode_prompt(
         self,
@@ -172,13 +280,16 @@ class FaultGenerator:
         top_k: int | None = None,
         top_p: float | None = None,
         iteration: int = 0,
+        automaton: DecisionAutomaton | None = None,
     ) -> GenerationCandidate:
         """Decode one prompt from precomputed per-slot distribution vectors.
 
         Args:
             prompt: The prompt the distributions were computed for.
             distributions: Per-slot probability *vectors* (one row sliced out
-                of :meth:`prompt_distributions`).
+                of :meth:`prompt_distributions`) — constrained vectors for
+                the interpreted path, raw vectors when ``automaton`` drives a
+                compiled decode.
             greedy: Argmax decoding when true, sampling otherwise.
             decoder: Decoder to draw from; defaults to the generator's shared
                 decoder.  Serving passes a per-request decoder seeded from the
@@ -187,16 +298,33 @@ class FaultGenerator:
             top_k: Top-k truncation override.
             top_p: Nucleus truncation override.
             iteration: Refinement iteration recorded on the fault.
+            automaton: Compiled decision automaton for ``prompt``; when given
+                the decoder jump-forwards through force-determined slots
+                instead of re-applying constraints per request.
 
         Returns:
             The rendered :class:`GenerationCandidate`.
         """
         active = decoder or self.decoder
         if greedy:
-            decoding = active.greedy(distributions)
+            decoding = active.greedy(distributions, automaton=automaton)
         else:
+            plan = None
+            if automaton is not None:
+                plan = self.compiler.plan_for(
+                    prompt,
+                    distributions,
+                    temperature if temperature is not None else self.config.temperature,
+                    top_k if top_k is not None else self.config.top_k,
+                    top_p if top_p is not None else self.config.top_p,
+                )
             decoding = active.sample(
-                distributions, temperature=temperature, top_k=top_k, top_p=top_p
+                distributions,
+                temperature=temperature,
+                top_k=top_k,
+                top_p=top_p,
+                automaton=automaton,
+                plan=plan,
             )
         return self._materialise(prompt, decoding, iteration)
 
@@ -214,47 +342,16 @@ class FaultGenerator:
         requirement is honoured deterministically — the decision-level analogue
         of instruction-constrained decoding.
         """
-        directives = prompt.feedback_directives
-        forced: dict[str, str] = {}
-        if not directives:
-            return forced
-        handling = directives.get("handling")
-        if handling in DECISION_SLOTS["handling"]:
-            forced["handling"] = handling
-        fault_type = directives.get("fault_type")
-        if fault_type in DECISION_SLOTS["template"]:
-            forced["template"] = fault_type
-        trigger = directives.get("trigger")
-        if trigger in DECISION_SLOTS["trigger"]:
-            forced["trigger"] = trigger
-        severity = directives.get("severity")
-        if severity in DECISION_SLOTS["severity"]:
-            forced["severity"] = severity
-        if directives.get("wants_retry") and "handling" not in forced:
-            forced["handling"] = "retry"
-        if directives.get("wants_fallback") and "handling" not in forced:
-            forced["handling"] = "fallback"
-        if directives.get("wants_unhandled") and "handling" not in forced:
-            forced["handling"] = "unhandled"
-        return forced
+        return feedback_forced_slots(prompt)
 
     def _spec_constraint(self, prompt: GenerationPrompt) -> dict[str, str]:
         """Pin the fault template to the spec's fault type when extraction is confident.
 
-        The structured specification *is* the contract between the tester and
-        the generator: when the NLP engine is confident about the requested
-        fault type, the model's freedom lies in how to realise it (handling,
-        trigger, placement, severity), not in which fault to produce.  Disabled
-        via ``ModelConfig.constrain_to_spec`` for the ablation benchmark.
+        Delegates to :func:`repro.llm.compiled_grammar.spec_constraint` — the
+        single source of truth shared with the grammar compiler, so the
+        interpreted and compiled paths can never disagree about constraints.
         """
-        if not self.config.constrain_to_spec:
-            return {}
-        spec = prompt.spec
-        if spec.fault_type.value not in DECISION_SLOTS["template"]:
-            return {}
-        if spec.confidence < self.config.spec_constraint_threshold:
-            return {}
-        return {"template": spec.fault_type.value}
+        return spec_constraint(prompt, self.config)
 
     def _constrained_distributions(self, prompt: GenerationPrompt, features) -> dict:
         distributions = self.policy.distributions(features)
@@ -265,6 +362,16 @@ class FaultGenerator:
             distributions[slot][:] = 0.0
             distributions[slot][index] = 1.0
         return distributions
+
+    def _raw_distributions_batch(self, prompts: list[GenerationPrompt]) -> dict:
+        """Batched raw per-slot ``(B, |slot|)`` distributions (no constraint copies).
+
+        The compiled decode path reads these through each prompt's automaton
+        instead of materialising constrained copies; callers must treat the
+        matrices as read-only (they belong to the forward result).
+        """
+        features = self.encoder.encode_batch(prompts)
+        return self.policy.forward_batch(features).probabilities
 
     def _constrained_distributions_batch(self, prompts: list[GenerationPrompt]) -> dict:
         """Batched per-slot ``(B, |slot|)`` distributions with per-prompt constraints."""

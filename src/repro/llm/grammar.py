@@ -26,15 +26,14 @@ decoding in DESIGN.md.
 from __future__ import annotations
 
 import ast
-import threading
-from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from ..errors import GrammarError, InjectionError
+from ..errors import GrammarError, InjectionError, ReproError
 from ..injection import ProgrammableInjector, ast_utils, get_operator
 from ..nlp.prompt_builder import GenerationPrompt
 from ..rng import SeededRNG
 from ..types import FaultSpec, FaultType, HandlingStyle, PlacementStyle, TriggerKind
+from .cache import KeyedLruCache
 from .decisions import DecisionVector
 
 _INDENT = "    "
@@ -104,26 +103,15 @@ class CodeGrammar:
     ) -> None:
         self._rng = rng or SeededRNG(0, namespace="grammar")
         self._injector = injector or ProgrammableInjector(rng=self._rng.fork("injector"))
-        self._cache_size = max(0, int(cache_size))
-        self._cache: "OrderedDict[tuple, RenderedFault]" = OrderedDict()
-        self._cache_lock = threading.Lock()
-        self._cache_hits = 0
-        self._cache_misses = 0
+        self._cache = KeyedLruCache(cache_size)
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss/size counters of the render memoization cache."""
-        with self._cache_lock:
-            return {
-                "hits": self._cache_hits,
-                "misses": self._cache_misses,
-                "size": len(self._cache),
-                "max_size": self._cache_size,
-            }
+        return self._cache.cache_info()
 
     def export_cache(self) -> dict[tuple, RenderedFault]:
         """A snapshot of the render cache for cross-process persistence."""
-        with self._cache_lock:
-            return dict(self._cache)
+        return self._cache.export()
 
     def import_cache(self, entries: dict[tuple, RenderedFault]) -> int:
         """Merge previously exported rendered faults, respecting the LRU bound.
@@ -131,38 +119,37 @@ class CodeGrammar:
         Returns:
             The number of entries actually installed.
         """
-        if self._cache_size <= 0:
-            return 0
-        installed = 0
-        with self._cache_lock:
-            for key, rendered in entries.items():
-                if key not in self._cache:
-                    self._cache[key] = rendered
-                    installed += 1
-            while len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
-        return installed
+        return self._cache.import_entries(entries)
 
     # -- public API --------------------------------------------------------------
 
     def render(self, prompt: GenerationPrompt, decisions: DecisionVector) -> RenderedFault:
         """Render ``decisions`` for ``prompt`` into faulty code."""
-        if self._cache_size <= 0:
+        if not self._cache.enabled:
             return self._render(prompt, decisions)
         key = (prompt.cache_key(), tuple(sorted(decisions.to_dict().items())))
-        with self._cache_lock:
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache_hits += 1
-                self._cache.move_to_end(key)
-                return cached
-            self._cache_misses += 1
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
         rendered = self._render(prompt, decisions)
-        with self._cache_lock:
-            self._cache[key] = rendered
-            while len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
+        self._cache.put(key, rendered)
         return rendered
+
+    def accepts(self, prompt: GenerationPrompt, decisions: DecisionVector) -> bool:
+        """Whether the interpreted grammar can render ``decisions`` for ``prompt``.
+
+        The grammar *is* the validity oracle of the decision space: a
+        decision assignment is acceptable exactly when rendering it produces
+        syntactically valid faulty code.  The compiled-decode property tests
+        use this to pin that every automaton-guided decision stays inside
+        the interpreted grammar's language.
+        """
+        try:
+            decisions.validate()
+            self.render(prompt, decisions)
+        except ReproError:
+            return False
+        return True
 
     def _render(self, prompt: GenerationPrompt, decisions: DecisionVector) -> RenderedFault:
         decisions.validate()

@@ -168,6 +168,12 @@ class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve/1.0"
 
+    # Response headers and body are written as separate TCP segments; with
+    # Nagle enabled the body segment stalls behind the peer's delayed ACK
+    # (~40ms per exchange), which dwarfs a generate-only request.  TCP_NODELAY
+    # is the standard HTTP-server setting.
+    disable_nagle_algorithm = True
+
     # The request handler is chatty by default; serving logs belong to the
     # deployment (systemd, container runtime), not stderr noise per request.
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
@@ -521,6 +527,7 @@ class FaultInjectionServer:
                 "extract": self.engine.extractor.cache_info(),
                 "encoder": self.engine.generator.encoder.cache_info(),
                 "render": self.engine.generator.grammar.cache_info(),
+                "compiled": self.engine.generator.compiler.cache_info(),
             },
         }
 

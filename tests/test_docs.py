@@ -63,6 +63,17 @@ class TestDocsExistAndAreLinked:
         api = (REPO_ROOT / "docs" / "API.md").read_text()
         assert "examples/serving_engine.py" in api
 
+    def test_compiled_decode_is_documented(self):
+        architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        api = (REPO_ROOT / "docs" / "API.md").read_text()
+        for text in (architecture, api):
+            assert "Compiled grammar decode" in text
+            assert "decode_seconds" in text or "DecisionAutomaton" in text
+        assert "DecisionAutomaton" in architecture
+        assert "jump-forward" in architecture.lower()
+        assert "benchmarks/bench_compiled_decode.py" in architecture
+        assert "save_caches" in api and "caches.compiled" in api
+
     def test_http_client_example_is_referenced(self):
         example = REPO_ROOT / "examples" / "http_client.py"
         assert example.is_file()

@@ -5,17 +5,29 @@ Invariants checked with hypothesis:
 * every operator, applied at any point it reports, yields syntactically valid
   Python that differs from the original;
 * patches always revert cleanly (the original text is retained verbatim);
-* the fault-load DSL round-trips through JSON for arbitrary entries.
+* the fault-load DSL round-trips through JSON for arbitrary entries;
+* every decision the compiled-grammar decode emits is accepted by the
+  interpreted grammar's validator, and masked decision heads never leak a
+  zero-probability (masked-out) value.
 """
 
 from __future__ import annotations
 
 import ast
+import functools
 
+import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.config import ModelConfig
 from repro.injection import FaultLoad, all_operators, get_operator, operator_names
+from repro.llm import CodeGrammar, DecisionAutomaton, FaultGenerator, constraint_slots
+from repro.llm.compiled_grammar import DecodePlan
+from repro.llm.decisions import DECISION_SLOTS
+from repro.nlp import CodeAnalyzer, FaultSpecExtractor, PromptBuilder
 from repro.rng import SeededRNG
+from repro.targets import all_targets
+from repro.types import FaultDescription
 
 #: A family of small but structurally varied modules for property tests.
 _MODULE_TEMPLATES = [
@@ -135,3 +147,110 @@ class TestFaultLoadProperties:
         assert len(restored) == len(load)
         assert [e.operator for e in restored] == [e.operator for e in load]
         assert [e.max_points for e in restored] == [e.max_points for e in load]
+
+
+_PROMPT_TEXTS = [
+    "Inject a timeout in the database transaction handling with retry",
+    "Introduce an off-by-one error in the loop processing orders",
+    "Simulate a network failure when the payment service is unavailable",
+    "Make the cache lookup intermittently fail every 3rd call",
+    "Corrupt the response data with low severity",
+]
+
+_DIRECTIVE_CHOICES = [
+    None,
+    {"handling": "retry"},
+    {"handling": "fallback", "severity": "high"},
+    {"trigger": "intermittent"},
+    {"fault_type": "delay", "wants_unhandled": True},
+]
+
+
+@functools.lru_cache(maxsize=1)
+def _prompt_pool():
+    """Prompts across every target × description × directive combination."""
+    extractor = FaultSpecExtractor()
+    analyzer = CodeAnalyzer()
+    builder = PromptBuilder()
+    prompts = []
+    for target in all_targets():
+        code = target.build_source()
+        for text in _PROMPT_TEXTS:
+            context = analyzer.analyze(code)
+            spec = extractor.extract(FaultDescription(text=text, code=code), context=context)
+            analyzer.select_function(context, text, hint=spec.target.function)
+            for directives in _DIRECTIVE_CHOICES:
+                prompts.append(builder.build(spec, context, directives))
+    return prompts
+
+
+class TestCompiledDecodeProperties:
+    """Compiled-grammar decode invariants over randomized prompts and seeds."""
+
+    @given(
+        prompt_index=st.integers(min_value=0, max_value=10_000),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        strategy=st.sampled_from(["greedy", "sample", "diverse"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_decisions_are_accepted_by_the_interpreted_grammar(
+        self, prompt_index, seed, strategy
+    ):
+        pool = _prompt_pool()
+        prompt = pool[prompt_index % len(pool)]
+        generator = FaultGenerator(
+            ModelConfig(compiled_decode=True), rng=SeededRNG(seed, namespace="generator")
+        )
+        if strategy == "diverse":
+            candidates = generator.candidates(prompt, 3)
+        else:
+            candidates = [generator.generate(prompt, greedy=strategy == "greedy")]
+        grammar = CodeGrammar()
+        for candidate in candidates:
+            assert grammar.accepts(prompt, candidate.decisions)
+
+    @given(
+        prompt_index=st.integers(min_value=0, max_value=10_000),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        greedy=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_masked_heads_never_leak_invalid_decisions(self, prompt_index, seed, greedy):
+        pool = _prompt_pool()
+        prompt = pool[prompt_index % len(pool)]
+        config = ModelConfig(compiled_decode=True)
+        generator = FaultGenerator(config, rng=SeededRNG(seed, namespace="generator"))
+        automaton = generator.compiler.compile(prompt)
+        candidate = generator.generate(prompt, greedy=greedy)
+        decisions = candidate.decisions.to_dict()
+        for slot, values in DECISION_SLOTS.items():
+            assert automaton.allows(slot, values.index(decisions[slot]))
+        for slot, value in constraint_slots(prompt, config).items():
+            assert decisions[slot] == value
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        valid_count=st.integers(min_value=2, max_value=4),
+        temperature=st.floats(min_value=0.2, max_value=2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partial_masks_give_masked_entries_zero_probability(
+        self, seed, valid_count, temperature
+    ):
+        # Partially-masked slots are compiled-only semantics (today's grammar
+        # pins exactly one value), but the plan must still guarantee that a
+        # masked-out decision has exactly zero selection probability.
+        rng = np.random.default_rng(seed)
+        size = len(DECISION_SLOTS["handling"])
+        mask = np.zeros(size, dtype=bool)
+        mask[rng.choice(size, size=valid_count, replace=False)] = True
+        probs = rng.random(size)
+        probs /= probs.sum()
+        automaton = DecisionAutomaton(
+            masks={"handling": mask}, partial_masks={"handling": mask}
+        )
+        plan = DecodePlan.for_sampling(
+            {"handling": probs}, automaton, temperature, top_k=None, top_p=None
+        )
+        for uniform in rng.random(200):
+            assert mask[plan.replay("handling", float(uniform))]

@@ -112,12 +112,40 @@ class TestResponseCodec:
             "status": "ok",
             "payload": {"records": 3, "stats": {}, "sft": None, "jsonl_path": None},
             "error": None,
-            "timings": {"queued_seconds": 0.0, "execution_seconds": 0.0, "total_seconds": 0.0},
+            "timings": {
+                "queued_seconds": 0.0,
+                "execution_seconds": 0.0,
+                "decode_seconds": 0.0,
+                "total_seconds": 0.0,
+            },
         }
         decoded = Response.from_dict(wire)
         assert isinstance(decoded.payload, WirePayload)
         assert decoded.payload["records"] == 3
         assert decoded.to_dict() == wire
+
+    def test_decode_seconds_survives_the_wire_round_trip(self):
+        response = Response(
+            request_id="req-3",
+            kind="generate",
+            status="ok",
+            timings=Timings(
+                queued_seconds=0.125, execution_seconds=0.75, decode_seconds=0.0625
+            ),
+        )
+        wire = response.to_dict()
+        assert wire["timings"]["decode_seconds"] == 0.0625
+        # decode_seconds is a component breakdown, not part of the total.
+        assert wire["timings"]["total_seconds"] == 0.875
+        decoded = Response.from_dict(json.loads(json.dumps(wire)))
+        assert decoded.timings.decode_seconds == 0.0625
+        assert decoded.to_dict() == wire
+        assert decoded.to_dict()["timings"] == wire["timings"]
+
+    def test_envelopes_without_decode_seconds_default_to_zero(self):
+        # Wire compatibility: envelopes written before the field existed.
+        decoded = Timings.from_dict({"queued_seconds": 0.5, "execution_seconds": 0.25})
+        assert decoded.decode_seconds == 0.0
 
     def test_missing_required_keys_are_rejected(self):
         with pytest.raises(RequestError, match="request_id"):
@@ -182,6 +210,8 @@ class TestLiveServer:
         assert envelope["status"] == "ok"
         assert envelope["kind"] == "generate"
         assert envelope["payload"]["fault"]["fault_id"].startswith("fault-")
+        timings = envelope["timings"]
+        assert 0.0 <= timings["decode_seconds"] <= timings["execution_seconds"]
         decoded = Response.from_dict(envelope)
         assert decoded.ok and decoded.to_dict() == envelope
 
