@@ -4,7 +4,9 @@
 The repo commits the benchmark trajectory under ``benchmarks/results/*.json``
 and promises floors in ROADMAP.md (pooled execution >= 3x, pooled dataset
 generation >= 2x, batched policy inference >= 3x, compiled grammar decode
->= 3x, concurrent engine serving >= 3x, concurrent HTTP serving >= 3x).  CI runs this script against the
+>= 3x, concurrent engine serving >= 3x, concurrent HTTP serving >= 3x,
+supervised execution overhead <= ~10%, chaos recovery byte-identical).
+CI runs this script against the
 committed full-mode numbers *and* against the quick-mode smoke output
 (``benchmarks/results/quick``), so a regression fails the build instead of
 silently re-measuring lower.
@@ -88,6 +90,18 @@ FLOORS: list[tuple[str, str, tuple[str, ...], float]] = [
         "concurrent HTTP clients vs serial legacy API",
         ("serving", "speedup"),
         3.0,
+    ),
+    (
+        "resilience.json",
+        "supervised fault-free execution vs unsupervised",
+        ("fault_free", "ratio"),
+        0.9,
+    ),
+    (
+        "resilience.json",
+        "chaos recovery byte-identical results",
+        ("chaos_recovery", "identical"),
+        1.0,
     ),
 ]
 

@@ -50,12 +50,14 @@ from .api import (
     RLHFRequest,
 )
 from .config import (
+    ChaosConfig,
     DatasetConfig,
     EngineConfig,
     ExecutionConfig,
     IntegrationConfig,
     ModelConfig,
     PipelineConfig,
+    ResilienceConfig,
     RLHFConfig,
     ServerConfig,
     SFTConfig,
@@ -87,6 +89,7 @@ __version__ = "1.0.0"
 __all__ = [
     "CampaignOrchestrator",
     "CampaignRequest",
+    "ChaosConfig",
     "ComparisonResult",
     "DatasetConfig",
     "DatasetRequest",
@@ -113,6 +116,7 @@ __all__ = [
     "RLHFConfig",
     "RefinementSession",
     "ReproError",
+    "ResilienceConfig",
     "SFTConfig",
     "ServerConfig",
     "TriggerKind",

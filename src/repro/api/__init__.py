@@ -35,6 +35,7 @@ from .responses import (
     RLHFPayload,
     Timings,
     WirePayload,
+    error_kind_for,
 )
 from .scheduler import ResponseHandle, Scheduler, SchedulerStats, Ticket
 
@@ -60,5 +61,6 @@ __all__ = [
     "Ticket",
     "Timings",
     "WirePayload",
+    "error_kind_for",
     "request_from_dict",
 ]

@@ -37,11 +37,18 @@ from typing import Callable, Iterable, Iterator
 
 from ..config import PipelineConfig
 from ..dataset import DatasetGenerator, FaultDataset
-from ..errors import EngineClosedError, ReproError, RequestError
+from ..errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    EngineClosedError,
+    ReproError,
+    RequestError,
+)
 from ..integration import ExperimentRecord, ExperimentRunner
 from ..llm import FaultGenerator, GenerationCandidate, SFTReport, SFTTrainer
 from ..llm.decoder import Decoder
 from ..nlp import CodeAnalyzer, FaultSpecExtractor, GenerationPrompt, PromptBuilder
+from ..resilience import OPEN, BreakerRegistry, Deadline, RetryPolicy
 from ..rlhf import FeedbackParser, RLHFReport, RLHFTrainer, SimulatedTester, spec_with_feedback, tester_pool
 from ..rng import SeededRNG
 from ..targets import TargetSystem, all_targets, get_target
@@ -89,7 +96,10 @@ class FaultInjectionEngine:
             extractor=self.extractor,
             analyzer=self.analyzer,
             prompts=self.prompts,
+            resilience=self.config.resilience,
         )
+        self._breakers = BreakerRegistry(self.config.resilience)
+        self._retry = RetryPolicy.from_config(self.config.resilience)
         self.sft_trainer = SFTTrainer(self.generator, self.config.sft)
         self.dataset: FaultDataset | None = None
         self.sft_report: SFTReport | None = None
@@ -161,7 +171,13 @@ class FaultInjectionEngine:
             raise EngineClosedError("engine is closed; no further requests are accepted")
         request_id = request.request_id or f"req-{next(self._request_ids):06d}"
         handle = ResponseHandle(request_id, request.kind)
-        self._scheduler.submit(Ticket(request=request, handle=handle))
+        self._scheduler.submit(
+            Ticket(
+                request=request,
+                handle=handle,
+                deadline=Deadline.from_seconds(request.deadline_seconds),
+            )
+        )
         return handle
 
     def run(self, request: Request) -> Response:
@@ -191,12 +207,44 @@ class FaultInjectionEngine:
         for _ in range(len(handles)):
             yield completed.get().result()
 
+    @property
+    def queue_depth(self) -> int:
+        """Tickets currently waiting in the scheduler queue (admission control)."""
+        return self._scheduler.queue_depth
+
     def serving_stats(self) -> dict:
         """Scheduler batching observations (dispatch counts, batch sizes,
         current queue depth)."""
         stats = self._scheduler.stats.to_dict()
         stats["queue_depth"] = self._scheduler.queue_depth
         return stats
+
+    def execution_stats(self) -> dict:
+        """Execution-plane resilience observations.
+
+        Returns:
+            ``{"pools": {target: counters}, "totals": counters, "breakers":
+            {key: breaker snapshot}}`` where counters are each pool's
+            ``tasks_executed`` / ``pool_rebuilds`` / ``retries`` /
+            ``quarantined`` supervision counters (pools that have not run yet
+            are omitted).  The dataset generator's validation pool reports
+            under the reserved name ``"dataset"``.
+        """
+        with self._lock:
+            runners = dict(self._experiment_runners)
+        pools: dict[str, dict[str, int]] = {}
+        totals = {"tasks_executed": 0, "pool_rebuilds": 0, "retries": 0, "quarantined": 0}
+        sources: list[tuple[str, dict[str, int] | None]] = [
+            (name, runner.pool_stats()) for name, runner in sorted(runners.items())
+        ]
+        sources.append(("dataset", self.dataset_generator.pool_stats()))
+        for name, stats in sources:
+            if not stats:
+                continue
+            pools[name] = stats
+            for key in totals:
+                totals[key] += int(stats.get(key, 0))
+        return {"pools": pools, "totals": totals, "breakers": self._breakers.to_dict()}
 
     # -- cache persistence -------------------------------------------------------------
 
@@ -521,6 +569,8 @@ class FaultInjectionEngine:
         survivors: list[tuple[Ticket, GenerationCandidate]] = []
         decode_seconds: dict[int, float] = {}
         for row, (ticket, prompt) in enumerate(live):
+            if self._resolve_if_expired(ticket, dispatch_started, "before decoding"):
+                continue
             request = ticket.request
             row_distributions = {slot: matrix[row] for slot, matrix in distributions.items()}
             decode_started = time.monotonic()
@@ -542,10 +592,12 @@ class FaultInjectionEngine:
             decode_seconds[id(ticket)] = time.monotonic() - decode_started
             survivors.append((ticket, candidate))
 
-        outcomes = self._execution_stage(survivors, dispatch_started)
+        outcomes = self._execution_stage(survivors, dispatch_started, batch_size=len(live))
         for ticket, candidate in survivors:
             if id(ticket) not in outcomes and ticket.request.execute:
                 continue  # already resolved with an execution error
+            if self._resolve_if_expired(ticket, dispatch_started, "before the response was built"):
+                continue
             payload = GeneratePayload.from_candidate(
                 candidate, outcome=outcomes.get(id(ticket)), batch_size=len(live)
             )
@@ -609,9 +661,22 @@ class FaultInjectionEngine:
         return results
 
     def _execution_stage(
-        self, survivors: list[tuple[Ticket, GenerationCandidate]], dispatch_started: float
+        self,
+        survivors: list[tuple[Ticket, GenerationCandidate]],
+        dispatch_started: float,
+        batch_size: int = 1,
     ) -> dict[int, InjectionOutcome]:
-        """Stages 5–6 for the batch: pooled sandbox runs grouped per target/mode."""
+        """Stages 5–6 for the batch: pooled sandbox runs grouped per target/mode.
+
+        Each (target, mode) plane is guarded by its circuit breaker: while the
+        breaker is open, generate tickets degrade gracefully — the generated
+        fault is still returned (``status="degraded"``, ``outcome=None``)
+        with an ``ErrorInfo(kind="unavailable")`` attached instead of queueing
+        more work behind a failing plane.  Transient sandbox errors are
+        retried under the engine's deterministic
+        :class:`~repro.resilience.RetryPolicy`, and per-ticket deadlines
+        clamp the sandbox task budget.
+        """
         groups: dict[tuple[str, str], list[tuple[Ticket, GenerationCandidate]]] = {}
         for ticket, candidate in survivors:
             request = ticket.request
@@ -622,23 +687,88 @@ class FaultInjectionEngine:
 
         outcomes: dict[int, InjectionOutcome] = {}
         for (target, mode), members in groups.items():
+            live: list[tuple[Ticket, GenerationCandidate]] = []
+            for ticket, candidate in members:
+                if not self._resolve_if_expired(ticket, dispatch_started, "before sandbox execution"):
+                    live.append((ticket, candidate))
+            if not live:
+                continue
+
+            breaker = self._breakers.get(target, mode)
+            if not breaker.allow():
+                error = CircuitOpenError(
+                    f"execution plane '{target}:{mode}' is failing fast; "
+                    f"retry after {breaker.retry_after():.0f}s",
+                    key=breaker.key,
+                )
+                for ticket, candidate in live:
+                    self._resolve_degraded(ticket, candidate, error, dispatch_started, batch_size)
+                continue
+
+            deadlines = [t.deadline for t, _ in live if t.deadline is not None]
+            tightest = min(deadlines, key=lambda d: d.expires_at) if deadlines else None
+            timeout_override = tightest.clamp(self.config.integration.test_timeout_seconds) if tightest else None
+            runner = self._runner_for(target)
+            faults = [candidate.fault for _, candidate in live]
             try:
-                batch = self._runner_for(target).run_many(
-                    [candidate.fault for _, candidate in members], mode=mode
+                batch = self._retry.run(
+                    lambda: runner.run_many(faults, mode=mode, timeout_seconds=timeout_override),
+                    key=f"{target}:{mode}",
+                    retry_on=(ReproError,),
+                    deadline=tightest,
                 )
             except ReproError as exc:
-                for ticket, _candidate in members:
+                breaker.record_failure()
+                for ticket, _candidate in live:
                     self._resolve_error(ticket, exc, dispatch_started)
                 continue
-            for (ticket, _candidate), record in zip(members, batch.records):
+            breaker.record_success()
+            for (ticket, _candidate), record in zip(live, batch.records):
                 outcomes[id(ticket)] = record.outcome
         return outcomes
+
+    def _resolve_degraded(
+        self,
+        ticket: Ticket,
+        candidate: GenerationCandidate,
+        exc: BaseException,
+        dispatch_started: float,
+        batch_size: int,
+    ) -> None:
+        """Resolve a generate ticket whose execution plane is failing fast.
+
+        Graceful degradation: the generated fault is still delivered
+        (``payload`` with ``outcome=None``) under ``status="degraded"``, with
+        the breaker's error attached so clients know execution was skipped.
+        """
+        ticket.handle._resolve(
+            Response(
+                request_id=ticket.handle.request_id,
+                kind=ticket.request.kind,
+                status="degraded",
+                payload=GeneratePayload.from_candidate(candidate, outcome=None, batch_size=batch_size),
+                error=ErrorInfo.from_exception(exc),
+                timings=self._timings(ticket, dispatch_started),
+            )
+        )
+
+    def _resolve_if_expired(self, ticket: Ticket, dispatch_started: float, where: str) -> bool:
+        """Resolve a ticket whose deadline elapsed mid-pipeline; True if it did."""
+        if not ticket.expired():
+            return False
+        self._resolve_error(
+            ticket,
+            DeadlineExceededError(f"deadline exceeded {where}"),
+            dispatch_started,
+        )
+        return True
 
     def _process_single(self, ticket: Ticket) -> None:
         """Serve one heavyweight (dataset / campaign / RLHF) ticket."""
         dispatch_started = time.monotonic()
         request = ticket.request
         try:
+            self._check_single_breaker(request)
             if isinstance(request, DatasetRequest):
                 payload = self._run_dataset(request)
             elif isinstance(request, CampaignRequest):
@@ -647,10 +777,33 @@ class FaultInjectionEngine:
                 payload = self._run_rlhf_request(request)
             else:  # pragma: no cover - submit() already rejects unknown kinds
                 raise RequestError(f"unsupported request kind {type(request).__name__}")
+            if ticket.expired():
+                raise DeadlineExceededError("deadline exceeded during execution")
         except ReproError as exc:
             self._resolve_error(ticket, exc, dispatch_started)
             return
         self._resolve_ok(ticket, payload, dispatch_started)
+
+    def _check_single_breaker(self, request: Request) -> None:
+        """Fail a heavyweight request fast when its execution plane's breaker
+        is open.
+
+        Only the fully-open state rejects — a half-open breaker lets the
+        request through as its recovery probe would for generate batches.
+        The state is compared directly (not via ``allow()``) so heavyweight
+        tickets never consume the limited half-open probe slots.
+        """
+        target = getattr(request, "target", None)
+        if not isinstance(request, (CampaignRequest, RLHFRequest)) or not target:
+            return
+        mode = self._resolve_mode(request.mode)
+        breaker = self._breakers.get(target, mode)
+        if breaker.state == OPEN:
+            raise CircuitOpenError(
+                f"execution plane '{target}:{mode}' is failing fast; "
+                f"retry after {breaker.retry_after():.0f}s",
+                key=breaker.key,
+            )
 
     def _run_dataset(self, request: DatasetRequest) -> DatasetPayload:
         """Execute a dataset sweep (optionally streaming and/or running SFT)."""
@@ -667,6 +820,7 @@ class FaultInjectionEngine:
                 extractor=self.extractor,
                 analyzer=self.analyzer,
                 prompts=self.prompts,
+                resilience=self.config.resilience,
             )
         targets = [get_target(name) for name in request.targets] or None
         try:
@@ -799,6 +953,7 @@ class FaultInjectionEngine:
                     config=self.config.integration,
                     seed=self.config.seed,
                     execution=self.config.execution,
+                    resilience=self.config.resilience,
                 )
             return self._experiment_runners[target_system.name]
 

@@ -76,6 +76,15 @@ def _require_request_id(request_id: str | None) -> None:
         raise RequestError("request_id must be a non-empty string when set")
 
 
+def _require_deadline(deadline_seconds: float | None) -> None:
+    if deadline_seconds is None:
+        return
+    if isinstance(deadline_seconds, bool) or not isinstance(deadline_seconds, (int, float)):
+        raise RequestError("deadline_seconds must be a number when set")
+    if deadline_seconds <= 0:
+        raise RequestError("deadline_seconds must be positive when set")
+
+
 def _as_tuple(value) -> tuple:
     if value is None:
         return ()
@@ -108,6 +117,11 @@ class GenerateRequest:
             ``subprocess`` — generated faults are untrusted).
         request_id: Optional caller-chosen id echoed in the response
             envelope; assigned by the engine when omitted.
+        deadline_seconds: End-to-end time budget for the request.  The
+            deadline travels with the request through batching, engine
+            stages, and sandbox task payloads; when it elapses the request
+            resolves with a structured ``ErrorInfo(kind="timeout")``
+            envelope (HTTP 504 at the serving front-end).
     """
 
     description: str
@@ -121,6 +135,7 @@ class GenerateRequest:
     execute: bool = False
     mode: str | None = None
     request_id: str | None = None
+    deadline_seconds: float | None = None
 
     kind = "generate"
 
@@ -145,6 +160,7 @@ class GenerateRequest:
             raise RequestError("top_p must be in (0, 1] when set")
         _require_mode(self.mode)
         _require_request_id(self.request_id)
+        _require_deadline(self.deadline_seconds)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able view of the request (used by logs and the CLI)."""
@@ -170,6 +186,8 @@ class DatasetRequest:
         jsonl_path: Stream records to this JSONL file instead of keeping the
             dataset in memory.
         request_id: Optional caller-chosen id echoed in the response.
+        deadline_seconds: End-to-end time budget; see
+            :attr:`GenerateRequest.deadline_seconds`.
     """
 
     targets: tuple[str, ...] = ()
@@ -178,6 +196,7 @@ class DatasetRequest:
     run_sft: bool = False
     jsonl_path: str | None = None
     request_id: str | None = None
+    deadline_seconds: float | None = None
 
     kind = "dataset"
 
@@ -192,6 +211,7 @@ class DatasetRequest:
                 "run_sft requires an in-memory dataset; drop jsonl_path (or fine-tune separately)"
             )
         _require_request_id(self.request_id)
+        _require_deadline(self.deadline_seconds)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able view of the request (used by logs and the CLI)."""
@@ -220,6 +240,8 @@ class CampaignRequest:
         mode: Sandbox execution mode; defaults to the engine's execution
             config.
         request_id: Optional caller-chosen id echoed in the response.
+        deadline_seconds: End-to-end time budget; see
+            :attr:`GenerateRequest.deadline_seconds`.
     """
 
     target: str = ""
@@ -228,6 +250,7 @@ class CampaignRequest:
     budget: int | None = None
     mode: str | None = None
     request_id: str | None = None
+    deadline_seconds: float | None = None
 
     kind = "campaign"
 
@@ -250,6 +273,7 @@ class CampaignRequest:
             raise RequestError("budget must be positive when set")
         _require_mode(self.mode)
         _require_request_id(self.request_id)
+        _require_deadline(self.deadline_seconds)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able view of the request (used by logs and the CLI)."""
@@ -281,6 +305,8 @@ class RLHFRequest:
             ``RLHFConfig.candidates_per_iteration``.
         mode: Sandbox execution mode for candidate rounds.
         request_id: Optional caller-chosen id echoed in the response.
+        deadline_seconds: End-to-end time budget; see
+            :attr:`GenerateRequest.deadline_seconds`.
     """
 
     descriptions: tuple[str, ...] = ()
@@ -290,6 +316,7 @@ class RLHFRequest:
     candidates_per_iteration: int | None = None
     mode: str | None = None
     request_id: str | None = None
+    deadline_seconds: float | None = None
 
     kind = "rlhf"
 
@@ -305,6 +332,7 @@ class RLHFRequest:
             raise RequestError("candidates_per_iteration must be positive when set")
         _require_mode(self.mode)
         _require_request_id(self.request_id)
+        _require_deadline(self.deadline_seconds)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able view of the request (used by logs and the CLI)."""

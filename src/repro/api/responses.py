@@ -18,12 +18,38 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from ..errors import RequestError
+from ..errors import (
+    AdmissionError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    EngineClosedError,
+    RequestCancelledError,
+    RequestError,
+)
 from ..llm.generator import GenerationCandidate
 from ..types import GeneratedFault, InjectionOutcome
 
 #: Version of the response envelope layout.
 SCHEMA_VERSION = "1.0"
+
+#: Exception type → machine-readable error kind.  Anything unmapped is a
+#: plain ``"error"``; HTTP front-ends map kinds to status codes (timeout →
+#: 504, overloaded → 429, unavailable → 503, cancelled → 499).
+_ERROR_KINDS: tuple[tuple[type[BaseException], str], ...] = (
+    (DeadlineExceededError, "timeout"),
+    (RequestCancelledError, "cancelled"),
+    (AdmissionError, "overloaded"),
+    (CircuitOpenError, "unavailable"),
+    (EngineClosedError, "unavailable"),
+)
+
+
+def error_kind_for(exc: BaseException) -> str:
+    """The machine-readable error kind for a raised exception."""
+    for exc_type, kind in _ERROR_KINDS:
+        if isinstance(exc, exc_type):
+            return kind
+    return "error"
 
 #: Decimal places used to quantize model-arithmetic floats in envelopes.
 _LOGPROB_DECIMALS = 9
@@ -31,24 +57,35 @@ _LOGPROB_DECIMALS = 9
 
 @dataclass(frozen=True)
 class ErrorInfo:
-    """A structured, client-safe error description."""
+    """A structured, client-safe error description.
+
+    ``kind`` is the machine-readable failure class clients should branch on
+    (``"error"``, ``"timeout"``, ``"cancelled"``, ``"overloaded"``,
+    ``"unavailable"``); ``type`` names the originating exception class and is
+    informational.
+    """
 
     type: str
     message: str
+    kind: str = "error"
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-able view of the error."""
-        return {"type": self.type, "message": self.message}
+        return {"type": self.type, "message": self.message, "kind": self.kind}
 
     @classmethod
     def from_exception(cls, exc: BaseException) -> "ErrorInfo":
         """Build an error record from a raised exception."""
-        return cls(type=type(exc).__name__, message=str(exc))
+        return cls(type=type(exc).__name__, message=str(exc), kind=error_kind_for(exc))
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ErrorInfo":
         """Decode the wire view produced by :meth:`to_dict`."""
-        return cls(type=str(data.get("type", "")), message=str(data.get("message", "")))
+        return cls(
+            type=str(data.get("type", "")),
+            message=str(data.get("message", "")),
+            kind=str(data.get("kind", "error")),
+        )
 
 
 @dataclass(frozen=True)

@@ -31,13 +31,14 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from ..errors import EngineClosedError
+from ..errors import DeadlineExceededError, EngineClosedError, RequestCancelledError
+from ..resilience import Deadline
 from .requests import GenerateRequest, Request
-from .responses import ErrorInfo, Response
+from .responses import ErrorInfo, Response, Timings
 
 
 class ResponseHandle:
@@ -47,14 +48,52 @@ class ResponseHandle:
         self.request_id = request_id
         self.kind = kind
         self._future: "Future[Response]" = Future()
+        self._scheduler: "Scheduler | None" = None
 
     def done(self) -> bool:
         """Whether the response is available."""
         return self._future.done()
 
     def result(self, timeout: float | None = None) -> Response:
-        """Block until the response envelope is available and return it."""
-        return self._future.result(timeout=timeout)
+        """Block until the response envelope is available and return it.
+
+        A ``timeout`` that elapses never raises a raw
+        :class:`concurrent.futures.TimeoutError` into client code: it
+        returns a structured ``ErrorInfo(kind="timeout")`` envelope instead.
+        The request itself stays in flight — the handle is *not* resolved,
+        and a later :meth:`result` call (or the HTTP polling route) can still
+        observe the real outcome.
+        """
+        try:
+            return self._future.result(timeout=timeout)
+        except FutureTimeoutError:
+            return Response(
+                request_id=self.request_id,
+                kind=self.kind,
+                status="error",
+                error=ErrorInfo(
+                    type="TimeoutError",
+                    message=(
+                        f"no response within {timeout:g}s; the request is still in flight "
+                        "— call result() again to keep waiting"
+                    ),
+                    kind="timeout",
+                ),
+            )
+
+    def cancel(self) -> bool:
+        """Cancel the request if it is still queued (best-effort).
+
+        Returns:
+            ``True`` when the ticket was still waiting in the scheduler queue
+            and was removed — the handle resolves immediately with a
+            ``status="cancelled"`` envelope.  ``False`` when the request
+            already started executing or finished (it cannot be recalled).
+        """
+        scheduler = self._scheduler
+        if scheduler is None or self._future.done():
+            return False
+        return scheduler.try_cancel(self.request_id)
 
     def add_done_callback(self, callback: Callable[["ResponseHandle"], None]) -> None:
         """Invoke ``callback(handle)`` once the response is available."""
@@ -71,6 +110,11 @@ class Ticket:
     request: Request
     handle: ResponseHandle
     submitted_at: float = field(default_factory=time.monotonic)
+    deadline: Deadline | None = None
+
+    def expired(self) -> bool:
+        """Whether the request's deadline elapsed before dispatch."""
+        return self.deadline is not None and self.deadline.expired()
 
 
 #: Most recent per-batch records retained by :class:`SchedulerStats`.
@@ -163,6 +207,7 @@ class Scheduler:
         with self._cond:
             if self._closed:
                 raise EngineClosedError("scheduler is closed; no further requests are accepted")
+            ticket.handle._scheduler = self
             self._queue.append(ticket)
             if self._thread is None:
                 self._thread = threading.Thread(
@@ -170,6 +215,39 @@ class Scheduler:
                 )
                 self._thread.start()
             self._cond.notify_all()
+
+    def try_cancel(self, request_id: str) -> bool:
+        """Remove a still-queued ticket and resolve it as cancelled.
+
+        Args:
+            request_id: The id the ticket's handle carries.
+
+        Returns:
+            ``True`` when the ticket was found in the queue (its handle now
+            holds a ``status="cancelled"`` envelope); ``False`` when it
+            already left the queue — executing work is never interrupted.
+        """
+        with self._cond:
+            found = None
+            for ticket in self._queue:
+                if ticket.handle.request_id == request_id:
+                    found = ticket
+                    break
+            if found is None:
+                return False
+            self._queue.remove(found)
+        found.handle._resolve(
+            Response(
+                request_id=found.handle.request_id,
+                kind=found.request.kind,
+                status="cancelled",
+                error=ErrorInfo.from_exception(
+                    RequestCancelledError("request cancelled while queued")
+                ),
+                timings=Timings(queued_seconds=time.monotonic() - found.submitted_at),
+            )
+        )
+        return True
 
     def close(self) -> None:
         """Drain the queue, stop the dispatch thread, and reject new submits.
@@ -197,8 +275,13 @@ class Scheduler:
                 if not self._queue:
                     return
                 head = self._queue.popleft()
+            if head.expired():
+                self._resolve_expired(head)
+                continue
             if isinstance(head.request, GenerateRequest):
-                batch = self._collect(head)
+                batch = [t for t in self._collect(head) if not self._expire(t)]
+                if not batch:
+                    continue
                 self.stats.record(
                     "generate", len(batch), sorted({t.request.target or "" for t in batch})
                 )
@@ -206,6 +289,26 @@ class Scheduler:
             else:
                 self.stats.record(head.request.kind, 1, [])
                 self._dispatch(lambda tickets: self._dispatch_single(tickets[0]), [head])
+
+    def _expire(self, ticket: Ticket) -> bool:
+        """Resolve a ticket whose deadline elapsed while it queued."""
+        if not ticket.expired():
+            return False
+        self._resolve_expired(ticket)
+        return True
+
+    def _resolve_expired(self, ticket: Ticket) -> None:
+        ticket.handle._resolve(
+            Response(
+                request_id=ticket.handle.request_id,
+                kind=ticket.request.kind,
+                status="error",
+                error=ErrorInfo.from_exception(
+                    DeadlineExceededError("deadline exceeded while the request was queued")
+                ),
+                timings=Timings(queued_seconds=time.monotonic() - ticket.submitted_at),
+            )
+        )
 
     def _dispatch(self, callback: Callable[[list[Ticket]], None], tickets: list[Ticket]) -> None:
         """Run a dispatch callback, resolving stranded handles on failure.

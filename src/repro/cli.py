@@ -78,6 +78,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="scheduler coalescing window in seconds (EngineConfig.max_queue_delay_seconds)",
     )
+    serve.add_argument(
+        "--chaos",
+        type=float,
+        default=None,
+        metavar="P",
+        help=(
+            "self-chaos: inject worker crashes, task delays, and dropped results "
+            "each with probability P (supervision makes results byte-identical; "
+            "see docs/RESILIENCE.md)"
+        ),
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=None, help="chaos decision seed (default: 31)"
+    )
     return parser
 
 
@@ -98,7 +112,19 @@ def _serve_command(args: argparse.Namespace) -> int:
         engine_config = config.engine
         if args.queue_delay is not None:
             engine_config = replace(engine_config, max_queue_delay_seconds=args.queue_delay)
-        config = replace(config, execution=execution, engine=engine_config)
+        resilience = config.resilience
+        if args.chaos is not None:
+            from .config import ChaosConfig
+
+            chaos = ChaosConfig(
+                enabled=True,
+                seed=args.chaos_seed if args.chaos_seed is not None else 31,
+                worker_crash_probability=args.chaos,
+                task_delay_probability=args.chaos,
+                drop_result_probability=args.chaos,
+            )
+            resilience = replace(resilience, chaos=chaos)
+        config = replace(config, execution=execution, engine=engine_config, resilience=resilience)
         server_config = config.server
         overrides = {}
         if args.host is not None:

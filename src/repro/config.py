@@ -213,6 +213,104 @@ class DatasetConfig:
 
 
 @dataclass
+class ChaosConfig:
+    """Self-chaos injection into the library's own execution plane.
+
+    When ``enabled``, pool workers deterministically misbehave — crash
+    mid-task (``worker_crash_probability``), stall before executing
+    (``task_delay_probability`` / ``task_delay_seconds``), or drop the
+    computed result on the floor (``drop_result_probability``) — so the
+    supervision layer (requeue-on-death, retry budgets, quarantine) is
+    exercised by the library's own test suite rather than trusted on faith.
+
+    Decisions are pure functions of ``(seed, task key, attempt)`` and only
+    ever fire on a task's first attempt, so chaotic campaigns always
+    terminate and — because the workload itself is untouched — produce
+    byte-identical results to fault-free runs (the differential suite in
+    ``tests/test_chaos_differential.py`` pins this).
+    """
+
+    enabled: bool = False
+    seed: int = 31
+    worker_crash_probability: float = 0.0
+    task_delay_probability: float = 0.0
+    task_delay_seconds: float = 0.05
+    drop_result_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("worker_crash_probability", "task_delay_probability", "drop_result_probability"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        if self.task_delay_seconds < 0:
+            raise ConfigurationError("task_delay_seconds must be non-negative")
+
+    def any_faults(self) -> bool:
+        """Whether this configuration can actually inject anything."""
+        return self.enabled and (
+            self.worker_crash_probability > 0
+            or self.task_delay_probability > 0
+            or self.drop_result_probability > 0
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class ResilienceConfig:
+    """Failure-handling behaviour of the serving and execution planes.
+
+    ``supervise`` turns on the worker pool's supervision loop (proactive
+    liveness checks, requeue-on-worker-death, poison-task quarantine);
+    ``task_retry_budget`` bounds how often one task may be re-executed after
+    its worker died, and ``quarantine_threshold`` is how many worker deaths
+    one task may cause before it is failed individually instead of recycling
+    the pool forever.  The retry fields parameterize the deterministic
+    exponential-backoff :class:`~repro.resilience.RetryPolicy` wrapped around
+    sandbox execution; the breaker fields parameterize the per-(target, mode)
+    :class:`~repro.resilience.CircuitBreaker`.  ``chaos`` configures the
+    self-chaos harness (:class:`ChaosConfig`).
+    """
+
+    supervise: bool = True
+    task_retry_budget: int = 3
+    quarantine_threshold: int = 2
+    retry_max_attempts: int = 3
+    retry_base_delay_seconds: float = 0.02
+    retry_max_delay_seconds: float = 1.0
+    retry_jitter: float = 0.25
+    retry_seed: int = 29
+    breaker_failure_threshold: int = 5
+    breaker_recovery_seconds: float = 5.0
+    breaker_half_open_calls: int = 1
+    chaos: ChaosConfig = field(default_factory=ChaosConfig)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.chaos, Mapping):
+            self.chaos = ChaosConfig(**self.chaos)
+        if self.task_retry_budget < 0:
+            raise ConfigurationError("task_retry_budget must be non-negative")
+        if self.quarantine_threshold <= 0:
+            raise ConfigurationError("quarantine_threshold must be positive")
+        if self.retry_max_attempts <= 0:
+            raise ConfigurationError("retry_max_attempts must be positive")
+        if self.retry_base_delay_seconds < 0 or self.retry_max_delay_seconds < 0:
+            raise ConfigurationError("retry delays must be non-negative")
+        if not (0.0 <= self.retry_jitter <= 1.0):
+            raise ConfigurationError("retry_jitter must be in [0, 1]")
+        if self.breaker_failure_threshold <= 0:
+            raise ConfigurationError("breaker_failure_threshold must be positive")
+        if self.breaker_recovery_seconds < 0:
+            raise ConfigurationError("breaker_recovery_seconds must be non-negative")
+        if self.breaker_half_open_calls <= 0:
+            raise ConfigurationError("breaker_half_open_calls must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
 class EngineConfig:
     """Serving behaviour of the :class:`~repro.api.FaultInjectionEngine`.
 
@@ -255,6 +353,10 @@ class ServerConfig:
     ``max_body_bytes`` caps accepted request bodies (HTTP 413 beyond it);
     ``drain_timeout_seconds`` bounds how long a graceful shutdown waits for
     queued async tickets to resolve before closing the engine anyway.
+    ``max_queue_depth`` is the admission-control bound: request submissions
+    arriving while the engine scheduler already holds that many queued
+    tickets are shed with HTTP 429 and a ``Retry-After`` of
+    ``retry_after_seconds`` (``0`` disables shedding).
     """
 
     host: str = "127.0.0.1"
@@ -262,6 +364,8 @@ class ServerConfig:
     request_retention: int = 256
     max_body_bytes: int = 1 << 20
     drain_timeout_seconds: float = 30.0
+    max_queue_depth: int = 128
+    retry_after_seconds: float = 1.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.host, str) or not self.host:
@@ -274,6 +378,10 @@ class ServerConfig:
             raise ConfigurationError("max_body_bytes must be positive")
         if self.drain_timeout_seconds <= 0:
             raise ConfigurationError("drain_timeout_seconds must be positive")
+        if self.max_queue_depth < 0:
+            raise ConfigurationError("max_queue_depth must be non-negative (0 disables shedding)")
+        if self.retry_after_seconds <= 0:
+            raise ConfigurationError("retry_after_seconds must be positive")
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -291,6 +399,7 @@ class PipelineConfig:
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
     engine: EngineConfig = field(default_factory=EngineConfig)
     server: ServerConfig = field(default_factory=ServerConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     max_refinement_iterations: int = 5
     use_code_context: bool = True
     seed: int = 23
@@ -309,6 +418,7 @@ class PipelineConfig:
             "execution": self.execution.to_dict(),
             "engine": self.engine.to_dict(),
             "server": self.server.to_dict(),
+            "resilience": self.resilience.to_dict(),
             "max_refinement_iterations": self.max_refinement_iterations,
             "use_code_context": self.use_code_context,
             "seed": self.seed,
@@ -332,6 +442,7 @@ class PipelineConfig:
             execution=build(ExecutionConfig, "execution"),
             engine=build(EngineConfig, "engine"),
             server=build(ServerConfig, "server"),
+            resilience=build(ResilienceConfig, "resilience"),
             max_refinement_iterations=int(data.get("max_refinement_iterations", 5)),
             use_code_context=bool(data.get("use_code_context", True)),
             seed=int(data.get("seed", 23)),

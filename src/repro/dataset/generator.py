@@ -24,7 +24,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-from ..config import DatasetConfig, ExecutionConfig, IntegrationConfig
+from ..config import DatasetConfig, ExecutionConfig, IntegrationConfig, ResilienceConfig
 from ..errors import DatasetError
 from ..injection import ProgrammableInjector, ast_utils
 from ..injection.operators import AppliedFault
@@ -85,6 +85,7 @@ class DatasetGenerator:
         extractor: FaultSpecExtractor | None = None,
         analyzer: CodeAnalyzer | None = None,
         prompts: PromptBuilder | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         """Initialise the generator.
 
@@ -101,6 +102,9 @@ class DatasetGenerator:
                 own so dataset sweeps warm (and profit from) the same
                 description-hash cache serving traffic uses.
             analyzer: A shared code analyzer (same sharing rationale).
+            resilience: Supervision/chaos behaviour of the lazily-created
+                validation runner; defaults to
+                :class:`~repro.config.ResilienceConfig`.
             prompts: A shared prompt builder (same sharing rationale).
         """
         self._config = config or DatasetConfig()
@@ -111,9 +115,15 @@ class DatasetGenerator:
         self._analyzer = analyzer or CodeAnalyzer()
         self._prompts = prompts or PromptBuilder()
         self._execution = execution or ExecutionConfig()
+        self._resilience = resilience or ResilienceConfig()
         self._runner = runner
         self._owns_runner = False
         self.stats = GenerationStats()
+
+    def pool_stats(self) -> dict[str, int] | None:
+        """Supervision counters of the validation runner's pool (``None`` before use)."""
+        stats = getattr(self._runner, "pool_stats", None)
+        return stats() if callable(stats) else None
 
     def close(self) -> None:
         """Release the validation runner if this generator created it (idempotent)."""
@@ -325,6 +335,7 @@ class DatasetGenerator:
                     workload_iterations=self._config.validation_iterations,
                 ),
                 execution=self._execution,
+                resilience=self._resilience,
             )
             self._owns_runner = True
         return self._runner

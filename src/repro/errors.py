@@ -99,3 +99,40 @@ class RequestError(ReproError):
 
 class EngineClosedError(ReproError):
     """A request was submitted to a :class:`FaultInjectionEngine` after close()."""
+
+
+class DeadlineExceededError(ReproError):
+    """A request's ``deadline_seconds`` budget elapsed before it completed.
+
+    Surfaces as a structured ``ErrorInfo(kind="timeout")`` envelope and as
+    HTTP 504 at the serving front-end.
+    """
+
+
+class RequestCancelledError(ReproError):
+    """A queued request was cancelled via :meth:`ResponseHandle.cancel`."""
+
+
+class CircuitOpenError(ReproError):
+    """A circuit breaker is open: the protected dependency is failing fast.
+
+    Carries the breaker key so clients and logs can tell which (target,
+    mode) execution plane tripped.  Surfaces as ``ErrorInfo(kind=
+    "unavailable")`` / HTTP 503 with a ``Retry-After`` hint.
+    """
+
+    def __init__(self, message: str, key: str | None = None) -> None:
+        super().__init__(message)
+        self.key = key
+
+
+class AdmissionError(ReproError):
+    """The serving front-end shed a request because the queue is saturated.
+
+    Surfaces as ``ErrorInfo(kind="overloaded")`` / HTTP 429 with a
+    ``Retry-After`` hint; the request never reached the engine.
+    """
+
+
+class QuarantineError(ReproError):
+    """A poison task was quarantined after repeatedly killing pool workers."""

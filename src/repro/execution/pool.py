@@ -16,6 +16,16 @@ Isolation properties match subprocess mode where it matters:
 * results are returned in submission order regardless of completion order, so
   campaign reports are deterministic for a given seed.
 
+On top of that sits a supervision loop (on by default, see
+:class:`~repro.config.ResilienceConfig`): worker liveness is checked
+proactively before each batch, tasks whose worker died are requeued under a
+bounded retry budget, and a poison task that repeatedly kills workers is
+quarantined — failed individually — instead of recycling the pool forever.
+Supervision is also the layer that absorbs self-chaos
+(:mod:`repro.resilience.chaos`): injected worker crashes, stalls, and dropped
+results perturb scheduling only, so chaotic campaigns terminate with results
+byte-identical to fault-free runs.
+
 Tasks and results cross the process boundary as plain dicts; the integration
 layer converts them to :class:`~repro.integration.runner.RunObservation`.
 """
@@ -29,6 +39,7 @@ from concurrent.futures import CancelledError, ProcessPoolExecutor, TimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
+from ..config import ResilienceConfig
 from ..errors import SandboxError
 
 #: Extra parent-side grace on top of the in-worker alarm before a worker is
@@ -89,6 +100,15 @@ def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
     """
     from ..targets import get_target
 
+    chaos_drop = False
+    chaos = task.get("chaos")
+    if chaos is not None:
+        from ..resilience.chaos import DROP, apply_worker_chaos
+
+        # May sleep or SIGKILL this worker; "drop" defers until after the
+        # workload ran, so a dropped result is genuinely computed then lost.
+        chaos_drop = apply_worker_chaos(chaos, str(task.get("chaos_key", "")), int(task.get("attempt", 0))) == DROP
+
     timeout = float(task.get("timeout_seconds") or 0.0)
     use_alarm = timeout > 0 and hasattr(signal, "SIGALRM") and threading.current_thread() is threading.main_thread()
     previous_handler = None
@@ -108,6 +128,8 @@ def _execute_task(task: dict[str, Any]) -> dict[str, Any]:
             # not misreported as a timeout while its payload is being built.
             if use_alarm:
                 signal.setitimer(signal.ITIMER_REAL, 0.0)
+        if chaos_drop:
+            return {"status": "chaos-dropped"}
         return {"status": "ok", "result": result.to_dict()}
     except _TaskTimeout:
         return {"status": "timeout"}
@@ -124,9 +146,18 @@ class WorkerPool:
 
     The executor is created lazily and rebuilt automatically if a task wedges
     or kills a worker, so one pathological fault cannot poison a campaign.
+    With supervision enabled (the default), victims of a worker death are
+    requeued under a bounded retry budget and repeat offenders are
+    quarantined; with ``resilience.supervise`` off the pool falls back to the
+    original single-retry-pass behaviour.
     """
 
-    def __init__(self, max_workers: int | None = None, task_timeout_seconds: float = 10.0) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        task_timeout_seconds: float = 10.0,
+        resilience: ResilienceConfig | None = None,
+    ) -> None:
         """Size the pool; no worker processes are spawned until the first batch.
 
         Args:
@@ -134,6 +165,9 @@ class WorkerPool:
                 :func:`resolve_workers`.
             task_timeout_seconds: Default per-task time budget, enforced
                 inside each worker with ``SIGALRM``.
+            resilience: Supervision / chaos behaviour; defaults to
+                :class:`~repro.config.ResilienceConfig` (supervision on,
+                chaos off).
 
         Raises:
             SandboxError: If ``task_timeout_seconds`` is not positive.
@@ -142,10 +176,13 @@ class WorkerPool:
             raise SandboxError("task_timeout_seconds must be positive")
         self.max_workers = resolve_workers(max_workers)
         self.task_timeout_seconds = float(task_timeout_seconds)
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
         self._executor: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
         self.tasks_executed = 0
         self.pool_rebuilds = 0
+        self.retries = 0
+        self.quarantined = 0
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -170,6 +207,37 @@ class WorkerPool:
         for process in processes:
             process.terminate()
         executor.shutdown(wait=False, cancel_futures=True)
+
+    def check_liveness(self) -> bool:
+        """Proactively verify the pool's workers are alive.
+
+        Called at the start of every supervised batch so a worker that died
+        between batches (OOM kill, external signal) is noticed *before* work
+        is submitted into a broken executor, not after the first
+        :class:`BrokenProcessPool` surfaces.
+
+        Returns:
+            ``True`` when the pool is healthy (or not yet started); ``False``
+            when dead workers were found and the pool was recycled.
+        """
+        with self._lock:
+            executor = self._executor
+        if executor is None:
+            return True
+        processes = list(getattr(executor, "_processes", {}).values())
+        if processes and not all(process.is_alive() for process in processes):
+            self._recycle()
+            return False
+        return True
+
+    def stats(self) -> dict[str, int]:
+        """Supervision counters for ``/v1/stats``."""
+        return {
+            "tasks_executed": self.tasks_executed,
+            "pool_rebuilds": self.pool_rebuilds,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+        }
 
     def shutdown(self) -> None:
         """Dispose of the worker processes (idempotent)."""
@@ -213,10 +281,18 @@ class WorkerPool:
             One payload dict per source, in submission order:
             ``{"status": "ok", "result": ...}``, ``{"status": "timeout"}``,
             or ``{"status": "error", "error": ...}``.  A task that wedges or
-            kills its worker only fails itself; siblings are retried on a
+            kills its worker only fails itself; siblings are requeued on a
             rebuilt pool.
         """
         timeout = float(timeout_seconds if timeout_seconds is not None else self.task_timeout_seconds)
+        supervised = self.resilience.supervise
+        # Chaos needs the supervision loop to requeue its victims, so it is
+        # inert on the legacy path.
+        chaos = None
+        if supervised and self.resilience.chaos.any_faults():
+            from ..resilience.chaos import chaos_payload
+
+            chaos = chaos_payload(self.resilience.chaos)
         tasks = [
             {
                 "target": target_name,
@@ -224,10 +300,142 @@ class WorkerPool:
                 "seed": seed,
                 "iterations": iterations,
                 "timeout_seconds": timeout,
+                "chaos": chaos,
+                "chaos_key": f"{target_name}:{seed}:{index}",
+                "attempt": 0,
             }
-            for source in module_sources
+            for index, source in enumerate(module_sources)
         ]
         backstop = timeout + _BACKSTOP_GRACE_SECONDS
+        if supervised:
+            results = self._run_batch_supervised(tasks, backstop)
+        else:
+            results = self._run_batch_legacy(tasks, backstop)
+        self.tasks_executed += len(tasks)
+        return results
+
+    # -- supervised path ----------------------------------------------------------
+
+    def _run_batch_supervised(self, tasks: list[dict[str, Any]], backstop: float) -> list[dict[str, Any]]:
+        """Round-based supervision: requeue on death, quarantine repeat killers.
+
+        Round 0 submits every task in parallel.  Tasks whose worker died (or
+        whose result was chaos-dropped) are requeued; suspected pool killers
+        rerun **one at a time** on a fresh executor so a subsequent death is
+        unambiguously attributable to them.  A task attributed
+        ``quarantine_threshold`` worker deaths is quarantined — failed
+        individually — and a task requeued more than ``task_retry_budget``
+        times is failed as retry-exhausted, so the loop always terminates.
+        """
+        results: list[dict[str, Any] | None] = [None] * len(tasks)
+        deaths = [0] * len(tasks)  # worker deaths *attributed* (solo runs only)
+        attempts = [0] * len(tasks)
+        suspect = [False] * len(tasks)
+        pending = list(range(len(tasks)))
+
+        self.check_liveness()
+        while pending:
+            requeued: list[int] = []
+            solo = [index for index in pending if suspect[index]]
+            grouped = [index for index in pending if not suspect[index]]
+
+            if grouped:
+                executor = self._ensure_executor()
+                futures = [
+                    (index, executor.submit(_execute_task, {**tasks[index], "attempt": attempts[index]}))
+                    for index in grouped
+                ]
+                for index, future in futures:
+                    payload = self._collect(future, backstop)
+                    if payload["status"] == "worker-died":
+                        # Cannot tell killer from victim in a parallel round;
+                        # everyone requeues as a suspect and reruns solo.
+                        suspect[index] = True
+                        self._requeue(index, tasks, attempts, deaths, results, requeued, attributed_death=False)
+                    elif payload["status"] == "chaos-dropped":
+                        self._requeue(index, tasks, attempts, deaths, results, requeued, attributed_death=False)
+                    else:
+                        results[index] = payload
+
+            for index in solo:
+                payload = self._collect_solo(tasks[index], attempts[index], backstop)
+                if payload["status"] == "worker-died":
+                    # Solo run: this task alone held the executor, so the
+                    # death is attributable to it.
+                    self._requeue(index, tasks, attempts, deaths, results, requeued, attributed_death=True)
+                elif payload["status"] == "chaos-dropped":
+                    self._requeue(index, tasks, attempts, deaths, results, requeued, attributed_death=False)
+                else:
+                    results[index] = payload
+                    suspect[index] = False
+
+            pending = requeued
+
+        return [
+            payload if payload is not None else {"status": "error", "error": "task produced no result"}
+            for payload in results
+        ]
+
+    def _requeue(
+        self,
+        index: int,
+        tasks: list[dict[str, Any]],
+        attempts: list[int],
+        deaths: list[int],
+        results: list[dict[str, Any] | None],
+        requeued: list[int],
+        attributed_death: bool,
+    ) -> None:
+        """Requeue a task whose result vanished, or fail it at its bounds."""
+        config = self.resilience
+        if attributed_death:
+            deaths[index] += 1
+            if deaths[index] >= config.quarantine_threshold:
+                self.quarantined += 1
+                results[index] = {
+                    "status": "error",
+                    "error": (
+                        f"task quarantined after killing {deaths[index]} pool workers "
+                        f"(threshold {config.quarantine_threshold})"
+                    ),
+                    "quarantined": True,
+                }
+                return
+        attempts[index] += 1
+        if attempts[index] > config.task_retry_budget:
+            results[index] = {
+                "status": "error",
+                "error": f"worker died and the task's retry budget ({config.task_retry_budget}) is exhausted",
+            }
+            return
+        self.retries += 1
+        requeued.append(index)
+
+    def _collect(self, future, backstop: float) -> dict[str, Any]:
+        """Resolve one parallel-round future into a status payload."""
+        try:
+            return future.result(timeout=backstop)
+        except FutureTimeoutError:
+            self._recycle()  # outstanding futures fail over to requeue rounds
+            return {"status": "timeout"}
+        except (BrokenProcessPool, CancelledError):
+            self._recycle()
+            return {"status": "worker-died"}
+        except Exception as exc:  # noqa: BLE001 - submission/pickling failures
+            return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
+
+    def _collect_solo(self, task: dict[str, Any], attempt: int, backstop: float) -> dict[str, Any]:
+        """Run one suspected pool killer alone on a (possibly fresh) executor."""
+        try:
+            future = self._ensure_executor().submit(_execute_task, {**task, "attempt": attempt})
+        except Exception as exc:  # noqa: BLE001 - executor died between rounds
+            self._recycle()
+            return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
+        return self._collect(future, backstop)
+
+    # -- legacy single-retry-pass path (resilience.supervise = False) --------------
+
+    def _run_batch_legacy(self, tasks: list[dict[str, Any]], backstop: float) -> list[dict[str, Any]]:
         results: list[dict[str, Any] | None] = [None] * len(tasks)
         executor = self._ensure_executor()
         futures = [executor.submit(_execute_task, task) for task in tasks]
@@ -251,7 +459,6 @@ class WorkerPool:
         for index in needs_retry:
             results[index] = self._run_single(tasks[index], backstop)
 
-        self.tasks_executed += len(tasks)
         return [payload if payload is not None else {"status": "error", "error": "task produced no result"} for payload in results]
 
     def _run_single(self, task: dict[str, Any], backstop: float) -> dict[str, Any]:
@@ -262,6 +469,8 @@ class WorkerPool:
             self._recycle()
             return {"status": "timeout"}
         except (BrokenProcessPool, CancelledError):
+            # A second broken pool must fail this task alone, never raise out
+            # of the batch: recycle so the *next* retry gets a fresh executor.
             self._recycle()
             return {"status": "error", "error": "worker process died while executing the task"}
         except Exception as exc:  # noqa: BLE001

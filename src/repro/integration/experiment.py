@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from ..config import ExecutionConfig, IntegrationConfig
+from ..config import ExecutionConfig, IntegrationConfig, ResilienceConfig
 from ..errors import ExperimentError, IntegrationError
 from ..injection.operators import AppliedFault
 from ..targets import TargetRunResult, TargetSystem, get_target
@@ -71,16 +71,24 @@ class ExperimentRunner:
         workspaces: WorkspaceManager | None = None,
         seed: int = 0,
         execution: ExecutionConfig | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.target = get_target(target) if isinstance(target, str) else target
         self.config = config or IntegrationConfig()
         self.execution = execution or ExecutionConfig()
+        self.resilience = resilience or ResilienceConfig()
         self._owns_runner = runner is None
-        self._runner = runner or SandboxRunner(self.config, execution=self.execution)
+        self._runner = runner or SandboxRunner(
+            self.config, execution=self.execution, resilience=self.resilience
+        )
         self._classifier = classifier or FailureClassifier()
         self._integrator = FaultIntegrator(workspaces)
         self._seed = seed
         self._baseline: TargetRunResult | None = None
+
+    def pool_stats(self) -> dict[str, int] | None:
+        """Supervision counters of the sandbox runner's pool (``None`` before use)."""
+        return self._runner.pool_stats()
 
     def close(self) -> None:
         """Release the sandbox runner if this experiment runner created it.
@@ -133,6 +141,7 @@ class ExperimentRunner:
         mode: str = "subprocess",
         max_workers: int | None = None,
         batch_size: int | None = None,
+        timeout_seconds: float | None = None,
     ) -> ExperimentBatch:
         """Integrate and execute many faults, running independent experiments concurrently.
 
@@ -153,6 +162,8 @@ class ExperimentRunner:
             max_workers: Per-call worker override (capped by the CPU count).
             batch_size: Chunk size for the integrate-and-execute pipeline;
                 defaults to ``ExecutionConfig.batch_size``.
+            timeout_seconds: Per-call sandbox timeout override, used to clamp
+                execution budgets to a request's remaining deadline.
 
         Returns:
             An :class:`ExperimentBatch` with one record per input fault.
@@ -167,7 +178,9 @@ class ExperimentRunner:
         batch = ExperimentBatch(target_name=self.target.name)
         for start in range(0, len(faults), chunk_size):
             batch.records.extend(
-                self._run_chunk(faults[start : start + chunk_size], mode, max_workers, chunk_size)
+                self._run_chunk(
+                    faults[start : start + chunk_size], mode, max_workers, chunk_size, timeout_seconds
+                )
             )
         return batch
 
@@ -177,6 +190,7 @@ class ExperimentRunner:
         mode: str,
         max_workers: int | None,
         chunk_size: int,
+        timeout_seconds: float | None = None,
     ) -> list[ExperimentRecord]:
         """Integrate and execute one chunk of faults, preserving input order."""
         records: list[ExperimentRecord | None] = [None] * len(faults)
@@ -214,6 +228,7 @@ class ExperimentRunner:
                 mode=effective_mode,
                 max_workers=max_workers,
                 batch_size=chunk_size,
+                timeout_seconds=timeout_seconds,
             )
             for (index, fault_id, integrated), observation in zip(group, observations):
                 records[index] = self._record_from_observation(

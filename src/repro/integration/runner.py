@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from ..config import ExecutionConfig, IntegrationConfig
+from ..config import ExecutionConfig, IntegrationConfig, ResilienceConfig
 from ..errors import SandboxError
 from ..execution import WorkerPool, resolve_workers
 from ..targets import TargetRunResult, get_target
@@ -78,9 +78,11 @@ class SandboxRunner:
         self,
         config: IntegrationConfig | None = None,
         execution: ExecutionConfig | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self._config = config or IntegrationConfig()
         self._execution = execution or ExecutionConfig()
+        self._resilience = resilience or ResilienceConfig()
         self._pool: WorkerPool | None = None
         self._scratch: tempfile.TemporaryDirectory | None = None
         self._task_ids = itertools.count()
@@ -93,6 +95,16 @@ class SandboxRunner:
     @property
     def execution(self) -> ExecutionConfig:
         return self._execution
+
+    @property
+    def resilience(self) -> ResilienceConfig:
+        return self._resilience
+
+    def pool_stats(self) -> dict[str, int] | None:
+        """Supervision counters of the lazily-created pool (``None`` before use)."""
+        with self._lock:
+            pool = self._pool
+        return pool.stats() if pool is not None else None
 
     def close(self) -> None:
         """Release the worker pool and the scratch directory (idempotent)."""
@@ -153,6 +165,7 @@ class SandboxRunner:
         mode: str = "subprocess",
         max_workers: int | None = None,
         batch_size: int | None = None,
+        timeout_seconds: float | None = None,
     ) -> list[RunObservation]:
         """Execute many module sources concurrently, preserving input order.
 
@@ -172,6 +185,11 @@ class SandboxRunner:
             max_workers: Per-call worker override (capped by the CPU count).
             batch_size: Chunk size for submissions; defaults to
                 ``ExecutionConfig.batch_size``.
+            timeout_seconds: Per-call override of
+                ``IntegrationConfig.test_timeout_seconds`` — used to clamp
+                sandbox budgets to a request's remaining deadline.  Only the
+                timeout-protected modes honour it (``inprocess`` has no
+                timeout by design).
 
         Returns:
             One :class:`RunObservation` per source, in submission order.
@@ -198,6 +216,7 @@ class SandboxRunner:
                     iterations,
                     mode,
                     max_workers,
+                    timeout_seconds,
                 )
             )
         return observations
@@ -210,6 +229,7 @@ class SandboxRunner:
         iterations: int,
         mode: str,
         max_workers: int | None,
+        timeout_seconds: float | None = None,
     ) -> list[RunObservation]:
         """Run one submission chunk through the requested execution mode."""
         if mode == "inprocess":
@@ -222,17 +242,19 @@ class SandboxRunner:
             workers = self._execution.resolved_workers(max_workers)
             if workers <= 1 or len(module_sources) == 1:
                 return [
-                    self._run_subprocess(target_name, source, seed, iterations)
+                    self._run_subprocess(target_name, source, seed, iterations, timeout_seconds)
                     for source in module_sources
                 ]
             with ThreadPoolExecutor(max_workers=workers) as executor:
                 return list(
                     executor.map(
-                        lambda source: self._run_subprocess(target_name, source, seed, iterations),
+                        lambda source: self._run_subprocess(
+                            target_name, source, seed, iterations, timeout_seconds
+                        ),
                         module_sources,
                     )
                 )
-        return self._run_pool(target_name, module_sources, seed, iterations, max_workers)
+        return self._run_pool(target_name, module_sources, seed, iterations, max_workers, timeout_seconds)
 
     # -- modes --------------------------------------------------------------------
 
@@ -244,7 +266,12 @@ class SandboxRunner:
         return RunObservation(result=result)
 
     def _run_subprocess(
-        self, target_name: str, module_source: str, seed: int, iterations: int
+        self,
+        target_name: str,
+        module_source: str,
+        seed: int,
+        iterations: int,
+        timeout_seconds: float | None = None,
     ) -> RunObservation:
         module_path = self._scratch_file()
         module_path.write_text(module_source)
@@ -261,7 +288,7 @@ class SandboxRunner:
             completed = subprocess.run(
                 command,
                 capture_output=self._config.capture_output,
-                timeout=self._config.test_timeout_seconds,
+                timeout=timeout_seconds if timeout_seconds is not None else self._config.test_timeout_seconds,
                 text=True,
                 check=False,
             )
@@ -301,6 +328,7 @@ class SandboxRunner:
         seed: int,
         iterations: int,
         max_workers: int | None = None,
+        timeout_seconds: float | None = None,
     ) -> list[RunObservation]:
         pool = self._ensure_pool(max_workers)
         payloads = pool.run_batch(
@@ -308,7 +336,7 @@ class SandboxRunner:
             module_sources,
             seed=seed,
             iterations=iterations,
-            timeout_seconds=self._config.test_timeout_seconds,
+            timeout_seconds=timeout_seconds if timeout_seconds is not None else self._config.test_timeout_seconds,
         )
         return [self._observation_from_pool(payload) for payload in payloads]
 
@@ -331,6 +359,7 @@ class SandboxRunner:
                 self._pool = WorkerPool(
                     max_workers=workers,
                     task_timeout_seconds=self._config.test_timeout_seconds,
+                    resilience=self._resilience,
                 )
             pool = self._pool
         if stale is not None:

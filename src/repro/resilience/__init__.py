@@ -1,0 +1,37 @@
+"""Resilience primitives: retries, circuit breakers, deadlines, self-chaos.
+
+This package holds the mechanisms that keep campaigns running — and
+reproducible — when the execution plane misbehaves:
+
+* :class:`RetryPolicy` — exponential backoff whose jitter is a seeded hash,
+  so retried campaigns keep byte-identical schedules;
+* :class:`CircuitBreaker` / :class:`BreakerRegistry` — per ``(target, mode)``
+  fail-fast protection for the sandbox planes;
+* :class:`Deadline` — monotonic request budgets threaded from the API surface
+  down to worker-pool task timeouts;
+* :mod:`~repro.resilience.chaos` — deterministic self-chaos (worker crashes,
+  task delays, dropped results) used by the differential chaos suite.
+
+See docs/RESILIENCE.md for semantics and the chaos-testing guide.
+"""
+
+from ..config import ChaosConfig, ResilienceConfig
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerRegistry, CircuitBreaker
+from .chaos import apply_worker_chaos, chaos_payload, should_inject
+from .deadline import Deadline
+from .retry import RetryPolicy
+
+__all__ = [
+    "BreakerRegistry",
+    "CLOSED",
+    "ChaosConfig",
+    "CircuitBreaker",
+    "Deadline",
+    "HALF_OPEN",
+    "OPEN",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "apply_worker_chaos",
+    "chaos_payload",
+    "should_inject",
+]

@@ -1,0 +1,182 @@
+"""Circuit breakers for the sandbox execution plane.
+
+A :class:`CircuitBreaker` tracks consecutive failures of a protected
+dependency and fails fast while it is misbehaving, instead of queueing more
+work behind a wedged worker pool.  The classic three-state machine:
+
+* **closed** — calls flow through; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures, calls are
+  rejected immediately with :class:`CircuitOpenError` until
+  ``recovery_seconds`` elapse.
+* **half_open** — after the cool-down, up to ``half_open_calls`` probe calls
+  are admitted; one success closes the breaker, one failure re-opens it.
+
+Breakers are registered per ``(target, mode)`` pair in a
+:class:`BreakerRegistry`, so a wedged subprocess plane for one target does
+not shed traffic for a healthy in-process plane of another.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+from ..config import ResilienceConfig
+from ..errors import CircuitOpenError, ConfigurationError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """A thread-safe closed/open/half-open circuit breaker."""
+
+    def __init__(
+        self,
+        key: str = "",
+        failure_threshold: int = 5,
+        recovery_seconds: float = 5.0,
+        half_open_calls: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Configure the breaker.
+
+        Args:
+            key: Label carried in errors and stats (e.g. ``"bank:pool"``).
+            failure_threshold: Consecutive failures that trip the breaker.
+            recovery_seconds: Cool-down before half-open probes are admitted.
+            half_open_calls: Probe calls admitted while half-open.
+            clock: Monotonic clock (tests inject a fake to step time).
+
+        Raises:
+            ConfigurationError: On non-positive thresholds or cool-down.
+        """
+        if failure_threshold <= 0:
+            raise ConfigurationError("failure_threshold must be positive")
+        if recovery_seconds <= 0:
+            raise ConfigurationError("recovery_seconds must be positive")
+        if half_open_calls <= 0:
+            raise ConfigurationError("half_open_calls must be positive")
+        self.key = key
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_seconds = float(recovery_seconds)
+        self.half_open_calls = int(half_open_calls)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_in_flight = 0
+        self._trips = 0
+
+    @classmethod
+    def from_config(
+        cls, config: ResilienceConfig, key: str = "", clock: Callable[[], float] = time.monotonic
+    ) -> "CircuitBreaker":
+        """Build the breaker described by a :class:`ResilienceConfig`."""
+        return cls(
+            key=key,
+            failure_threshold=config.breaker_failure_threshold,
+            recovery_seconds=config.breaker_recovery_seconds,
+            half_open_calls=config.breaker_half_open_calls,
+            clock=clock,
+        )
+
+    @property
+    def state(self) -> str:
+        """Current state, promoting open → half_open once cooled down."""
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        # Caller holds the lock.
+        if self._state == OPEN and self._clock() - self._opened_at >= self.recovery_seconds:
+            self._state = HALF_OPEN
+            self._half_open_in_flight = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (reserves a half-open probe)."""
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and self._half_open_in_flight < self.half_open_calls:
+                self._half_open_in_flight += 1
+                return True
+            return False
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit breaker '{self.key}' is open; retry after "
+                f"{self.recovery_seconds:g}s",
+                key=self.key,
+            )
+
+    def record_success(self) -> None:
+        """Note a successful call; closes the breaker from half-open."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._half_open_in_flight = 0
+
+    def record_failure(self) -> None:
+        """Note a failed call; may trip the breaker (or re-open from probe)."""
+        with self._lock:
+            state = self._effective_state()
+            self._consecutive_failures += 1
+            if state == HALF_OPEN or self._consecutive_failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._half_open_in_flight = 0
+                self._trips += 1
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker would admit a probe; 0 when it already would."""
+        with self._lock:
+            if self._effective_state() != OPEN:
+                return 0.0
+            return max(0.0, self.recovery_seconds - (self._clock() - self._opened_at))
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly snapshot for ``/v1/stats``."""
+        with self._lock:
+            return {
+                "key": self.key,
+                "state": self._effective_state(),
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self._trips,
+            }
+
+
+class BreakerRegistry:
+    """Lazily-created breakers keyed per ``(target, mode)`` execution plane."""
+
+    def __init__(
+        self, config: ResilienceConfig, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self._config = config
+        self._clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def get(self, target: str, mode: str) -> CircuitBreaker:
+        """The breaker for ``target``'s ``mode`` plane, created on first use."""
+        key = f"{target}:{mode}"
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker.from_config(self._config, key=key, clock=self._clock)
+                self._breakers[key] = breaker
+            return breaker
+
+    def to_dict(self) -> dict:
+        """Snapshots of every breaker, keyed by ``target:mode``."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {key: breaker.to_dict() for key, breaker in sorted(breakers.items())}

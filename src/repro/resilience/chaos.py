@@ -1,0 +1,86 @@
+"""Deterministic self-chaos for the execution plane.
+
+:class:`~repro.config.ChaosConfig` describes faults the library injects into
+*itself*: sandbox workers that crash mid-task, tasks that stall, results that
+vanish in flight.  The decisions are pure functions of
+``(seed, task_key, fault_kind)`` — a SHA-256 hash, not a random stream — so a
+chaos run is exactly reproducible, and they fire **only on a task's first
+attempt**.  Supervision retries the disrupted task, the retry (attempt > 0)
+runs clean, and the campaign terminates with byte-identical results to a
+fault-free run.  That termination guarantee is what the differential chaos
+suite asserts.
+
+The helpers here operate on plain dicts because chaos travels to pool workers
+inside pickled task payloads (see :func:`chaos_payload` /
+:func:`apply_worker_chaos`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from typing import Mapping
+
+from ..config import ChaosConfig
+
+CRASH = "crash"
+DELAY = "delay"
+DROP = "drop"
+
+
+def _unit_interval(seed: int, key: str, kind: str) -> float:
+    """A deterministic sample in ``[0, 1)`` from ``(seed, key, kind)``."""
+    digest = hashlib.sha256(f"{seed}:{key}:{kind}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def should_inject(config: ChaosConfig, key: str, kind: str, attempt: int) -> bool:
+    """Whether fault ``kind`` fires for task ``key`` on this attempt.
+
+    Faults only ever fire on ``attempt == 0`` so that supervised retries are
+    guaranteed to converge — chaos perturbs the schedule, never the result.
+    """
+    if attempt != 0 or not config.enabled:
+        return False
+    probability = {
+        CRASH: config.worker_crash_probability,
+        DELAY: config.task_delay_probability,
+        DROP: config.drop_result_probability,
+    }[kind]
+    if probability <= 0.0:
+        return False
+    return _unit_interval(config.seed, key, kind) < probability
+
+
+def chaos_payload(config: ChaosConfig | None) -> dict | None:
+    """The pickle-friendly form of ``config`` for worker task payloads."""
+    if config is None or not config.any_faults():
+        return None
+    return config.to_dict()
+
+
+def apply_worker_chaos(payload: Mapping | None, key: str, attempt: int) -> str | None:
+    """Run inside a pool worker: act out any chaos scheduled for this task.
+
+    Args:
+        payload: The dict produced by :func:`chaos_payload` (or ``None``).
+        key: Stable task identity (same key ⇒ same chaos decision).
+        attempt: 0-based attempt number; chaos only fires on attempt 0.
+
+    Returns:
+        ``"drop"`` when the result should be silently discarded (the parent
+        sees a vanished future and requeues), otherwise ``None``.  A
+        scheduled crash does not return — the worker SIGKILLs itself.
+    """
+    if payload is None:
+        return None
+    config = ChaosConfig(**dict(payload))
+    if should_inject(config, key, DELAY, attempt):
+        time.sleep(config.task_delay_seconds)
+    if should_inject(config, key, CRASH, attempt):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if should_inject(config, key, DROP, attempt):
+        return DROP
+    return None

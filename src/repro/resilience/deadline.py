@@ -1,0 +1,83 @@
+"""Monotonic request deadlines.
+
+A :class:`Deadline` is an absolute point on the monotonic clock derived from a
+request's ``deadline_seconds`` budget.  It travels with the request through
+the scheduler, engine stages, and worker-pool payloads so every layer can ask
+the same two questions — *how much budget is left?* and *has it expired?* —
+without re-deriving wall-clock arithmetic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..errors import ConfigurationError, DeadlineExceededError
+
+
+class Deadline:
+    """An absolute monotonic expiry point with budget accounting.
+
+    Instances are cheap, immutable in effect (the expiry never moves), and
+    accept an injectable clock so tests can step time deterministically.
+    """
+
+    __slots__ = ("_expires_at", "_clock")
+
+    def __init__(self, seconds: float, clock: Callable[[], float] = time.monotonic) -> None:
+        """Start a deadline ``seconds`` from now.
+
+        Args:
+            seconds: Budget in seconds; must be positive.
+            clock: Monotonic clock (tests inject a fake).
+
+        Raises:
+            ConfigurationError: If ``seconds`` is not positive.
+        """
+        if seconds <= 0:
+            raise ConfigurationError("deadline seconds must be positive")
+        self._clock = clock
+        self._expires_at = clock() + float(seconds)
+
+    @classmethod
+    def from_seconds(
+        cls, seconds: float | None, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline | None":
+        """A :class:`Deadline` for ``seconds``, or ``None`` when unbounded."""
+        if seconds is None:
+            return None
+        return cls(seconds, clock=clock)
+
+    @property
+    def expires_at(self) -> float:
+        """The monotonic timestamp at which the budget runs out."""
+        return self._expires_at
+
+    def remaining(self) -> float:
+        """Seconds of budget left; never negative."""
+        return max(0.0, self._expires_at - self._clock())
+
+    def expired(self) -> bool:
+        """Whether the budget has fully elapsed."""
+        return self._clock() >= self._expires_at
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceededError` if the budget has elapsed."""
+        if self.expired():
+            raise DeadlineExceededError(f"deadline exceeded while processing {what}")
+
+    def clamp(self, seconds: float | None) -> float:
+        """Bound a layer's own timeout by the remaining request budget.
+
+        Args:
+            seconds: The layer's configured timeout, or ``None`` for
+                "deadline only".
+
+        Returns:
+            ``min(seconds, remaining())`` — a per-stage timeout that can
+            never outlive the request's overall budget.
+        """
+        remaining = self.remaining()
+        if seconds is None:
+            return remaining
+        return min(float(seconds), remaining)

@@ -1,0 +1,145 @@
+"""Deterministic retry with exponential backoff and seeded jitter.
+
+Retries are a reproducibility hazard: classic random jitter means a retried
+campaign sleeps differently — and therefore schedules differently — on every
+run.  :class:`RetryPolicy` derives its jitter from a SHA-256 hash of
+``(seed, key, attempt)``, so the delay for attempt *n* of task *k* is a pure
+function of configuration.  Retried campaigns stay byte-for-byte
+reproducible, and tests can assert exact backoff schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Any, Callable, Iterator
+
+from ..config import ResilienceConfig
+from ..errors import ConfigurationError
+from .deadline import Deadline
+
+
+def _unit_interval(seed: int, key: str, attempt: int) -> float:
+    """A deterministic sample in ``[0, 1)`` from ``(seed, key, attempt)``."""
+    digest = hashlib.sha256(f"{seed}:{key}:{attempt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class RetryPolicy:
+    """Exponential backoff with deterministically-seeded jitter.
+
+    Attempt ``n`` (0-based) that fails waits
+    ``min(base * 2**n, max_delay) * (1 + jitter * u(seed, key, n))`` before
+    attempt ``n + 1``, where ``u`` is the seeded unit-interval hash — the same
+    configuration always produces the same schedule for the same key.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay_seconds: float = 0.02,
+        max_delay_seconds: float = 1.0,
+        jitter: float = 0.25,
+        seed: int = 29,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        """Configure the policy.
+
+        Args:
+            max_attempts: Total executions allowed (first try included).
+            base_delay_seconds: Backoff before the first retry.
+            max_delay_seconds: Cap on the un-jittered backoff.
+            jitter: Fraction of the backoff added as seeded jitter, in
+                ``[0, 1]``.
+            seed: Seed of the deterministic jitter stream.
+            sleep: Sleep function (tests inject a recorder).
+
+        Raises:
+            ConfigurationError: On non-positive attempts, negative delays,
+                or jitter outside ``[0, 1]``.
+        """
+        if max_attempts <= 0:
+            raise ConfigurationError("max_attempts must be positive")
+        if base_delay_seconds < 0 or max_delay_seconds < 0:
+            raise ConfigurationError("retry delays must be non-negative")
+        if not (0.0 <= jitter <= 1.0):
+            raise ConfigurationError("jitter must be in [0, 1]")
+        self.max_attempts = int(max_attempts)
+        self.base_delay_seconds = float(base_delay_seconds)
+        self.max_delay_seconds = float(max_delay_seconds)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self._sleep = sleep
+
+    @classmethod
+    def from_config(cls, config: ResilienceConfig, sleep: Callable[[float], None] = time.sleep) -> "RetryPolicy":
+        """Build the policy described by a :class:`ResilienceConfig`."""
+        return cls(
+            max_attempts=config.retry_max_attempts,
+            base_delay_seconds=config.retry_base_delay_seconds,
+            max_delay_seconds=config.retry_max_delay_seconds,
+            jitter=config.retry_jitter,
+            seed=config.retry_seed,
+            sleep=sleep,
+        )
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """The deterministic backoff after failed attempt ``attempt`` (0-based)."""
+        backoff = min(self.base_delay_seconds * (2.0 ** attempt), self.max_delay_seconds)
+        return backoff * (1.0 + self.jitter * _unit_interval(self.seed, key, attempt))
+
+    def schedule(self, key: str = "") -> list[float]:
+        """Every backoff delay the policy would sleep for ``key``, in order."""
+        return [self.delay(attempt, key) for attempt in range(self.max_attempts - 1)]
+
+    def attempts(self, key: str = "") -> Iterator[int]:
+        """Yield attempt numbers, sleeping the backoff between them.
+
+        The caller breaks out of the loop on success; exhausting the
+        iterator means every attempt was consumed.
+        """
+        for attempt in range(self.max_attempts):
+            yield attempt
+            if attempt < self.max_attempts - 1:
+                self._sleep(self.delay(attempt, key))
+
+    def run(
+        self,
+        fn: Callable[[], Any],
+        key: str = "",
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        deadline: "Deadline | None" = None,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ) -> Any:
+        """Call ``fn`` with retries; re-raise the last error when exhausted.
+
+        Args:
+            fn: Zero-argument callable to execute.
+            key: Jitter key (e.g. ``"bank:pool"``) so independent call sites
+                draw independent — but still deterministic — schedules.
+            retry_on: Exception types that trigger a retry; anything else
+                propagates immediately.
+            deadline: Optional request deadline; once expired, the last
+                error is re-raised instead of sleeping into a budget the
+                caller no longer has.
+            on_retry: Observer called with ``(attempt, error)`` before each
+                backoff sleep.
+
+        Returns:
+            ``fn()``'s result from the first successful attempt.
+        """
+        last_error: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except retry_on as exc:
+                last_error = exc
+                if attempt == self.max_attempts - 1:
+                    break
+                if deadline is not None and deadline.expired():
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self._sleep(self.delay(attempt, key))
+        assert last_error is not None
+        raise last_error

@@ -12,20 +12,29 @@ Error contract (docs/SERVING.md):
 ========================  ======================================================
 HTTP status               Meaning
 ========================  ======================================================
-200                       Envelope with ``status: ok``
+200                       Envelope with ``status: ok``, ``degraded`` (fault
+                          generated, execution skipped behind an open
+                          breaker), or ``cancelled`` (client-requested)
 202                       Async ticket accepted / still pending
 400                       Malformed JSON or request validation failure
 404                       Unknown route or unknown ticket id
 405                       Known route, wrong method (``Allow`` header set)
-409                       Duplicate async ``request_id``
+409                       Duplicate async ``request_id`` / cancel refused
 413                       Body larger than ``ServerConfig.max_body_bytes``
+429                       Load shed: scheduler queue at ``max_queue_depth``
+                          (``Retry-After`` header set)
 500                       Envelope with a non-request server-side error
-503                       Server draining / engine closed
+503                       Server draining / engine closed / circuit breaker
+                          open (``Retry-After`` header set)
+504                       Request ``deadline_seconds`` exceeded
 ========================  ======================================================
 
-Every non-200 body carries the same structured shape as an error envelope:
-``{"status": "error", "error": {"type": ..., "message": ...}, ...}`` built
-from :class:`~repro.api.ErrorInfo` — clients parse one schema everywhere.
+Non-2xx statuses are derived from the envelope error's machine-readable
+``kind`` (``timeout`` → 504, ``overloaded`` → 429, ``unavailable`` → 503)
+before falling back to the exception type.  Every non-200 body carries the
+same structured shape as an error envelope: ``{"status": "error", "error":
+{"type": ..., "message": ..., "kind": ...}, ...}`` built from
+:class:`~repro.api.ErrorInfo` — clients parse one schema everywhere.
 """
 
 from __future__ import annotations
@@ -47,13 +56,25 @@ from ..api import (
     request_from_dict,
 )
 from ..config import PipelineConfig, ServerConfig
-from ..errors import EngineClosedError, ReproError, RequestError
+from ..errors import AdmissionError, EngineClosedError, ReproError, RequestError
 
 #: Error types that map to client-fault HTTP statuses.
 _STATUS_BY_ERROR_TYPE = {
     RequestError.__name__: 400,
     EngineClosedError.__name__: 503,
 }
+
+#: Machine-readable error kinds that map to HTTP statuses (checked first).
+_STATUS_BY_ERROR_KIND = {
+    "timeout": 504,
+    "overloaded": 429,
+    "unavailable": 503,
+}
+
+#: Envelope statuses delivered under HTTP 200: success, graceful degradation
+#: (the fault was generated but execution was skipped behind an open
+#: breaker), and client-requested cancellation.
+_OK_ENVELOPE_STATUSES = ("ok", "degraded", "cancelled")
 
 #: Query-string values accepted as "true" for the ``async`` flag.
 _TRUTHY = ("1", "true", "yes", "on")
@@ -75,8 +96,11 @@ class _Reservation:
 
 def _http_status(response: Response) -> int:
     """The HTTP status an envelope travels under (see module docstring)."""
-    if response.ok:
+    if response.status in _OK_ENVELOPE_STATUSES:
         return 200
+    kind_status = _STATUS_BY_ERROR_KIND.get(response.error.kind)
+    if kind_status is not None:
+        return kind_status
     return _STATUS_BY_ERROR_TYPE.get(response.error.type, 500)
 
 
@@ -189,6 +213,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:
         self._route("POST")
 
+    def do_DELETE(self) -> None:
+        self._route("DELETE")
+
     # -- routing -----------------------------------------------------------------
 
     def _route(self, method: str) -> None:
@@ -199,7 +226,10 @@ class _Handler(BaseHTTPRequestHandler):
             if not accepted:
                 self._send_json(
                     503,
-                    self._error_body(ErrorInfo("EngineClosedError", "server is draining")),
+                    self._error_body(
+                        ErrorInfo("EngineClosedError", "server is draining", kind="unavailable")
+                    ),
+                    headers=self.app._retry_after_headers(),
                 )
                 return
             try:
@@ -222,8 +252,17 @@ class _Handler(BaseHTTPRequestHandler):
             self._require(method, "GET") and self._send_json(200, self.app.stats())
             return
         if path.startswith("/v1/requests/"):
-            if self._require(method, "GET"):
-                self._poll(path.removeprefix("/v1/requests/"))
+            request_id = path.removeprefix("/v1/requests/")
+            if method == "GET":
+                self._poll(request_id)
+            elif method == "DELETE":
+                self._cancel(request_id)
+            else:
+                self._send_json(
+                    405,
+                    self._error_body(ErrorInfo("RequestError", f"method {method} not allowed")),
+                    headers={"Allow": "GET, DELETE"},
+                )
             return
         if path.startswith("/v1/"):
             kind = path.removeprefix("/v1/")
@@ -264,6 +303,7 @@ class _Handler(BaseHTTPRequestHandler):
             value.lower() in _TRUTHY for value in query.get("async", [])
         )
         try:
+            self.app._admit()
             request = request_from_dict(kind, data)
             if wants_async:
                 # Reserve a client-chosen id atomically BEFORE submitting,
@@ -281,6 +321,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self.app._tickets.attach(handle)
             else:
                 response = self.app.engine.run(request)
+        except AdmissionError as exc:
+            self._send_json(
+                429,
+                self._error_body(ErrorInfo.from_exception(exc), kind=kind),
+                headers=self.app._retry_after_headers(),
+            )
+            return
         except _DuplicateTicketError as exc:
             self._send_json(
                 409, self._error_body(ErrorInfo("RequestError", str(exc)), kind=kind)
@@ -290,7 +337,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, self._error_body(ErrorInfo.from_exception(exc), kind=kind))
             return
         except EngineClosedError as exc:
-            self._send_json(503, self._error_body(ErrorInfo.from_exception(exc), kind=kind))
+            self._send_json(
+                503,
+                self._error_body(ErrorInfo.from_exception(exc), kind=kind),
+                headers=self.app._retry_after_headers(),
+            )
             return
         except ReproError as exc:
             self._send_json(500, self._error_body(ErrorInfo.from_exception(exc), kind=kind))
@@ -298,7 +349,7 @@ class _Handler(BaseHTTPRequestHandler):
         if wants_async:
             self._send_json(202, self._ticket_body(handle))
             return
-        self._send_json(_http_status(response), response.to_dict())
+        self._send_envelope(response)
 
     def _poll(self, request_id: str) -> None:
         """GET /v1/requests/<id>: the envelope when done, the ticket while not."""
@@ -314,10 +365,46 @@ class _Handler(BaseHTTPRequestHandler):
         if isinstance(entry, _Reservation) or not entry.done():
             self._send_json(202, self._ticket_body(entry))
             return
-        response = entry.result()
-        self._send_json(_http_status(response), response.to_dict())
+        self._send_envelope(entry.result())
+
+    def _cancel(self, request_id: str) -> None:
+        """DELETE /v1/requests/<id>: cancel a still-queued async request.
+
+        Cancellation is best-effort and queued-only: 200 with the
+        ``status="cancelled"`` envelope when the ticket was recalled, 409
+        when it already started executing or finished (poll it instead),
+        404 for unknown ids.
+        """
+        entry = self.app._tickets.get(request_id)
+        if entry is None:
+            self._send_json(
+                404,
+                self._error_body(
+                    ErrorInfo("RequestError", f"unknown request id {request_id!r}"),
+                ),
+            )
+            return
+        if isinstance(entry, _Reservation) or not entry.cancel():
+            self._send_json(
+                409,
+                self._error_body(
+                    ErrorInfo(
+                        "RequestError",
+                        f"request {request_id!r} is executing or finished and cannot "
+                        "be cancelled; poll it instead",
+                    ),
+                ),
+            )
+            return
+        self._send_envelope(entry.result())
 
     # -- plumbing ----------------------------------------------------------------
+
+    def _send_envelope(self, response: Response) -> None:
+        """Send an engine envelope under its mapped HTTP status."""
+        status = _http_status(response)
+        headers = self.app._retry_after_headers() if status in (429, 503) else None
+        self._send_json(status, response.to_dict(), headers=headers)
 
     def _read_body(self) -> bytes | None:
         """The request body, or ``None`` after replying 400/413 to a bad one."""
@@ -523,6 +610,7 @@ class FaultInjectionServer:
             "schema_version": SCHEMA_VERSION,
             "server": server,
             "scheduler": self.engine.serving_stats(),
+            "execution": self.engine.execution_stats(),
             "caches": {
                 "extract": self.engine.extractor.cache_info(),
                 "encoder": self.engine.generator.encoder.cache_info(),
@@ -540,6 +628,29 @@ class FaultInjectionServer:
     def _count_error(self) -> None:
         with self._lock:
             self._http_errors_total += 1
+
+    def _admit(self) -> None:
+        """Load shedding: reject new submissions while the queue is saturated.
+
+        Raises:
+            AdmissionError: When the scheduler's queue depth has reached
+                ``ServerConfig.max_queue_depth`` (the handler maps it to
+                HTTP 429 with a ``Retry-After`` header).  A limit of 0
+                disables shedding.
+        """
+        limit = self.server_config.max_queue_depth
+        if limit <= 0:
+            return
+        depth = self.engine.queue_depth
+        if depth >= limit:
+            raise AdmissionError(
+                f"scheduler queue depth {depth} is at capacity ({limit}); "
+                "retry after the queue drains"
+            )
+
+    def _retry_after_headers(self) -> dict:
+        """The ``Retry-After`` header attached to 429/503 responses."""
+        return {"Retry-After": str(max(1, round(self.server_config.retry_after_seconds)))}
 
 
 class _ExchangeTracker:

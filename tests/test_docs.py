@@ -23,6 +23,7 @@ DOC_FILES = [
     REPO_ROOT / "docs" / "API.md",
     REPO_ROOT / "docs" / "ARCHITECTURE.md",
     REPO_ROOT / "docs" / "EXECUTION.md",
+    REPO_ROOT / "docs" / "RESILIENCE.md",
     REPO_ROOT / "docs" / "SERVING.md",
 ]
 
@@ -43,12 +44,14 @@ class TestDocsExistAndAreLinked:
         assert "docs/API.md" in readme
         assert "docs/ARCHITECTURE.md" in readme
         assert "docs/EXECUTION.md" in readme
+        assert "docs/RESILIENCE.md" in readme
         assert "docs/SERVING.md" in readme
 
     def test_docs_cross_reference_each_other(self):
         api = (REPO_ROOT / "docs" / "API.md").read_text()
         architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
         execution = (REPO_ROOT / "docs" / "EXECUTION.md").read_text()
+        resilience = (REPO_ROOT / "docs" / "RESILIENCE.md").read_text()
         serving = (REPO_ROOT / "docs" / "SERVING.md").read_text()
         assert "EXECUTION.md" in architecture
         assert "ARCHITECTURE.md" in execution
@@ -56,6 +59,10 @@ class TestDocsExistAndAreLinked:
         assert "API.md" in architecture
         assert "SERVING.md" in api
         assert "API.md" in serving
+        assert "RESILIENCE.md" in serving
+        assert "RESILIENCE.md" in architecture
+        assert "SERVING.md" in resilience
+        assert "EXECUTION.md" in resilience
 
     def test_serving_example_is_referenced(self):
         example = REPO_ROOT / "examples" / "serving_engine.py"
