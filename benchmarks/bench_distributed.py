@@ -1,0 +1,193 @@
+"""BENCH_DISTRIBUTED — elastic localhost workers vs the serial seed path.
+
+Two promises from docs/DISTRIBUTED.md are measured and gated:
+
+* ``distributed`` — a campaign fanned out over **4 localhost workers** through
+  the TCP lease protocol must beat the serial seed path (one ``subprocess.run``
+  per fault, cold interpreter each time) by **>= 3x**, while producing
+  observation-for-observation **byte-identical** outcomes.  Gated via
+  ``configs.distributed.speedup_vs_serial_subprocess >= 3.0``.
+* ``chaos_recovery`` — with the self-chaos harness SIGKILLing remote workers
+  mid-lease, the coordinator's requeue/retry machinery must still converge on
+  payloads byte-identical to a fault-free distributed run (``identical`` is
+  1.0 only when every payload matches; gated at 1.0).
+
+``BENCH_QUICK=1`` shrinks the workload for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.config import (
+    ChaosConfig,
+    DistributedConfig,
+    ExecutionConfig,
+    IntegrationConfig,
+    ResilienceConfig,
+)
+from repro.distributed import DistributedPool
+from repro.integration import SandboxRunner
+from repro.targets import get_target
+
+from conftest import write_result
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+TASKS = 6 if QUICK else 16
+ITERATIONS = 10 if QUICK else 25
+WORKERS = 4
+#: distributed wall-clock must beat one-subprocess-per-fault by this factor.
+MIN_SPEEDUP = 3.0
+#: chaos batch size is pinned so the seeded crash schedule is known to kill
+#: at least one remote worker (seed 7, 6 tasks -> crash fires at index 2).
+CHAOS_TASKS = 6
+
+CHAOS = ChaosConfig(
+    enabled=True,
+    seed=31,
+    worker_crash_probability=0.3,
+    task_delay_probability=0.3,
+    task_delay_seconds=0.02,
+    drop_result_probability=0.3,
+)
+
+
+def _fingerprint(observation) -> str:
+    """Canonical bytes of one observation, wall-clock measurements excluded."""
+    result = observation.result
+    return json.dumps(
+        {
+            "completed": observation.completed,
+            "timed_out": observation.timed_out,
+            "harness_error": observation.harness_error,
+            "result": None
+            if result is None
+            else {
+                "target": result.target,
+                "completed": result.completed,
+                "metrics": result.metrics,
+                "violations": result.violations,
+                "error_type": result.error_type,
+                "error_message": result.error_message,
+                "detected_errors": result.detected_errors,
+            },
+        },
+        sort_keys=True,
+    )
+
+
+def _stable(payload: dict) -> dict:
+    """A pool payload with the wall-clock measurement stripped."""
+    stable = {k: v for k, v in payload.items() if k != "result"}
+    stable["result"] = {
+        k: v for k, v in payload.get("result", {}).items() if k != "duration_seconds"
+    }
+    return stable
+
+
+def measure_fanout(sources: list[str]) -> tuple[dict, dict]:
+    """Serial seed path vs 4 distributed localhost workers, same campaign."""
+    config = IntegrationConfig(test_timeout_seconds=10.0)
+    timings: dict[str, float] = {}
+    prints: dict[str, list[str]] = {}
+
+    with SandboxRunner(config, execution=ExecutionConfig(max_workers=1)) as runner:
+        started = time.perf_counter()
+        serial = runner.run_batch(
+            "bank", sources, seed=5, iterations=ITERATIONS, mode="subprocess"
+        )
+        timings["serial-subprocess"] = time.perf_counter() - started
+        prints["serial-subprocess"] = [_fingerprint(o) for o in serial]
+
+    execution = ExecutionConfig(
+        max_workers=WORKERS, distributed=DistributedConfig(workers=WORKERS)
+    )
+    with SandboxRunner(config, execution=execution) as runner:
+        # One throwaway batch so worker spawn / import cost is not measured —
+        # mirrors how a long campaign amortises fleet start-up.
+        runner.run_batch("bank", sources[:1], seed=0, iterations=ITERATIONS, mode="distributed")
+        started = time.perf_counter()
+        fanned = runner.run_batch(
+            "bank", sources, seed=5, iterations=ITERATIONS, mode="distributed"
+        )
+        timings["distributed"] = time.perf_counter() - started
+        prints["distributed"] = [_fingerprint(o) for o in fanned]
+        stats = runner.distributed_stats()
+
+    # Byte-identical outcomes, in submission order, regardless of placement.
+    assert prints["distributed"] == prints["serial-subprocess"]
+
+    serial_seconds = timings["serial-subprocess"]
+    configs = {}
+    for label, elapsed in timings.items():
+        configs[label] = {
+            "seconds": round(elapsed, 3),
+            "faults_per_second": round(len(sources) / elapsed, 2) if elapsed else None,
+            "speedup_vs_serial_subprocess": round(serial_seconds / elapsed, 2),
+        }
+    configs["distributed"]["workers"] = stats["workers"]
+    configs["distributed"]["leases"] = stats["leases"]
+    return configs, stats
+
+
+def measure_chaos_recovery() -> dict:
+    """Chaotic distributed batches must converge on the fault-free bytes."""
+    sources = [get_target("bank").build_source()] * CHAOS_TASKS
+
+    def run(resilience: ResilienceConfig | None):
+        with DistributedPool(
+            max_workers=3,
+            task_timeout_seconds=10.0,
+            resilience=resilience,
+            distributed=DistributedConfig(workers=3),
+        ) as pool:
+            payloads = pool.run_batch("bank", sources, seed=7, iterations=ITERATIONS)
+            return payloads, pool.stats()
+
+    clean, _ = run(None)
+    chaotic, stats = run(ResilienceConfig(chaos=CHAOS))
+    identical = [_stable(p) for p in chaotic] == [_stable(p) for p in clean]
+    return {
+        "workers": 3,
+        "tasks": CHAOS_TASKS,
+        "identical": 1.0 if identical else 0.0,
+        "requeues": stats["requeues"],
+        "rebalances": stats["rebalances"],
+        "retries": stats["retries"],
+        "pool_rebuilds": stats["pool_rebuilds"],
+    }
+
+
+def test_distributed_fanout_and_recovery():
+    sources = [get_target("bank").build_source()] * TASKS
+    configs, stats = measure_fanout(sources)
+    chaos_recovery = measure_chaos_recovery()
+
+    rows = ["config                 seconds   faults/sec   speedup-vs-serial"]
+    for label, entry in configs.items():
+        rows.append(
+            f"{label:<22} {entry['seconds']:>7.2f}   {entry['faults_per_second']:>10.2f}"
+            f"   {entry['speedup_vs_serial_subprocess']:>17.2f}"
+        )
+    rows.append(
+        f"chaos identical: {chaos_recovery['identical']:.1f}"
+        f"   (workers killed and requeued: {chaos_recovery['requeues']})"
+    )
+    payload = {
+        "quick": QUICK,
+        "tasks": TASKS,
+        "workers": WORKERS,
+        "min_speedup": MIN_SPEEDUP,
+        "configs": configs,
+        "chaos_recovery": chaos_recovery,
+    }
+    write_result("distributed", payload, table="\n".join(rows))
+
+    # The acceptance bars: remote fan-out pays for its sockets, and killing
+    # remote workers mid-campaign never changes results.
+    assert configs["distributed"]["speedup_vs_serial_subprocess"] >= MIN_SPEEDUP, payload
+    assert chaos_recovery["identical"] == 1.0, payload
+    assert chaos_recovery["requeues"] > 0, payload

@@ -92,6 +92,18 @@ FLOORS: list[tuple[str, str, tuple[str, ...], float]] = [
         3.0,
     ),
     (
+        "distributed.json",
+        "distributed localhost workers vs serial subprocess",
+        ("configs", "distributed", "speedup_vs_serial_subprocess"),
+        3.0,
+    ),
+    (
+        "distributed.json",
+        "distributed chaos recovery byte-identical results",
+        ("chaos_recovery", "identical"),
+        1.0,
+    ),
+    (
         "resilience.json",
         "supervised fault-free execution vs unsupervised",
         ("fault_free", "ratio"),

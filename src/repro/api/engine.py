@@ -223,17 +223,23 @@ class FaultInjectionEngine:
         """Execution-plane resilience observations.
 
         Returns:
-            ``{"pools": {target: counters}, "totals": counters, "breakers":
-            {key: breaker snapshot}}`` where counters are each pool's
-            ``tasks_executed`` / ``pool_rebuilds`` / ``retries`` /
-            ``quarantined`` supervision counters (pools that have not run yet
-            are omitted).  The dataset generator's validation pool reports
-            under the reserved name ``"dataset"``.
+            ``{"pools": {target: counters}, "totals": counters,
+            "distributed": counters, "breakers": {key: breaker snapshot}}``
+            where pool counters are each pool's ``tasks_executed`` /
+            ``pool_rebuilds`` / ``retries`` / ``quarantined`` supervision
+            counters (pools that have not run yet are omitted) and
+            ``distributed`` aggregates the distributed plane's ``workers`` /
+            ``leases`` / ``requeues`` / ``rebalances`` across runners.  The
+            dataset generator's validation pool reports under the reserved
+            name ``"dataset"``.  Counters accumulate across pool rebuilds, so
+            every total is monotonic within one engine lifetime (``workers``
+            is a gauge).
         """
         with self._lock:
             runners = dict(self._experiment_runners)
         pools: dict[str, dict[str, int]] = {}
         totals = {"tasks_executed": 0, "pool_rebuilds": 0, "retries": 0, "quarantined": 0}
+        distributed = {"workers": 0, "leases": 0, "requeues": 0, "rebalances": 0}
         sources: list[tuple[str, dict[str, int] | None]] = [
             (name, runner.pool_stats()) for name, runner in sorted(runners.items())
         ]
@@ -244,7 +250,33 @@ class FaultInjectionEngine:
             pools[name] = stats
             for key in totals:
                 totals[key] += int(stats.get(key, 0))
-        return {"pools": pools, "totals": totals, "breakers": self._breakers.to_dict()}
+        for name, runner in sorted(runners.items()):
+            stats = runner.distributed_stats()
+            if not stats:
+                continue
+            pools[f"{name}:distributed"] = stats
+            for key in totals:
+                totals[key] += int(stats.get(key, 0))
+            for key in distributed:
+                distributed[key] += int(stats.get(key, 0))
+        return {
+            "pools": pools,
+            "totals": totals,
+            "distributed": distributed,
+            "breakers": self._breakers.to_dict(),
+        }
+
+    def open_breakers(self) -> int:
+        """How many circuit breakers are currently open (failing fast).
+
+        Surfaced on ``GET /healthz`` so load balancers can route around a
+        shard whose execution planes are refusing work.
+        """
+        return sum(
+            1
+            for snapshot in self._breakers.to_dict().values()
+            if snapshot.get("state") == "open"
+        )
 
     # -- cache persistence -------------------------------------------------------------
 

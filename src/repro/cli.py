@@ -49,7 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--temperature", type=float, default=None, help="sampling temperature")
     generate.add_argument("--request-seed", type=int, default=None, help="per-request decode seed")
     generate.add_argument("--execute", action="store_true", help="integrate and test against the target")
-    generate.add_argument("--mode", default=None, help="sandbox mode: inprocess|subprocess|pool")
+    generate.add_argument("--mode", default=None, help="sandbox mode: inprocess|subprocess|pool|distributed")
 
     dataset = commands.add_parser("dataset", parents=[shared], help="generate an SFI fine-tuning dataset")
     dataset.add_argument("--target", action="append", default=None, help="target name (repeatable)")
@@ -62,7 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--scenario", action="append", required=True, help="scenario text (repeatable)")
     campaign.add_argument("--technique", action="append", default=None, help="technique (repeatable)")
     campaign.add_argument("--budget", type=int, default=None, help="baseline fault budget")
-    campaign.add_argument("--mode", default=None, help="sandbox mode: inprocess|subprocess|pool")
+    campaign.add_argument("--mode", default=None, help="sandbox mode: inprocess|subprocess|pool|distributed")
 
     serve = commands.add_parser(
         "serve", help="serve the engine over HTTP/JSON (see docs/SERVING.md)"
@@ -70,7 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=None, help="pipeline seed override")
     serve.add_argument("--host", default=None, help="bind address (default: config host)")
     serve.add_argument("--port", type=int, default=None, help="bind port (0 = ephemeral)")
-    serve.add_argument("--mode", default=None, help="default sandbox mode: inprocess|subprocess|pool")
+    serve.add_argument("--mode", default=None, help="default sandbox mode: inprocess|subprocess|pool|distributed")
     serve.add_argument("--max-workers", type=int, default=None, help="sandbox worker pool size")
     serve.add_argument(
         "--queue-delay",
@@ -91,6 +91,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--chaos-seed", type=int, default=None, help="chaos decision seed (default: 31)"
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission control: shed request submissions with HTTP 429 while the "
+            "scheduler already holds N queued tickets (0 disables shedding; "
+            "ServerConfig.max_queue_depth, surfaced on GET /healthz as queue_depth)"
+        ),
+    )
+
+    worker = commands.add_parser(
+        "worker", help="run one remote sandbox worker (see docs/DISTRIBUTED.md)"
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help=(
+            "coordinator address to dial; the worker registers its capacity, "
+            "executes leased task batches through the sandbox runner, and "
+            "heartbeats while running"
+        ),
+    )
+    worker.add_argument(
+        "--max-workers",
+        type=int,
+        default=1,
+        metavar="K",
+        help="inner sandbox pool size — the capacity advertised to the coordinator",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: hostname-pid; coordinator may uniquify)",
+    )
+
+    launch = commands.add_parser(
+        "launch-workers",
+        help="spawn and maintain a localhost worker fleet (see docs/DISTRIBUTED.md)",
+    )
+    launch.add_argument(
+        "-n",
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="fleet size to keep at strength (dead workers are respawned)",
+    )
+    launch.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address every worker dials",
+    )
+    launch.add_argument(
+        "--max-workers",
+        type=int,
+        default=1,
+        metavar="K",
+        help="inner sandbox pool size per worker",
     )
     return parser
 
@@ -131,6 +194,8 @@ def _serve_command(args: argparse.Namespace) -> int:
             overrides["host"] = args.host
         if args.port is not None:
             overrides["port"] = args.port
+        if args.max_queue_depth is not None:
+            overrides["max_queue_depth"] = args.max_queue_depth
         if overrides:
             server_config = replace(server_config, **overrides)
         if not isinstance(server_config, ServerConfig):  # pragma: no cover - defensive
@@ -147,6 +212,44 @@ def _serve_command(args: argparse.Namespace) -> int:
         print("draining...", file=sys.stderr)
     finally:
         server.close()
+    return 0
+
+
+def _worker_command(args: argparse.Namespace) -> int:
+    """Run ``python -m repro worker``: serve leases until GOODBYE."""
+    from .distributed import run_worker
+
+    try:
+        return run_worker(args.connect, max_workers=args.max_workers, worker_id=args.worker_id)
+    except (ReproError, ConnectionError, OSError) as exc:
+        print(f"worker failed: {exc}", file=sys.stderr)
+        return 2
+
+
+def _launch_workers_command(args: argparse.Namespace) -> int:
+    """Run ``python -m repro launch-workers``: keep a fleet up until Ctrl-C."""
+    import time
+
+    from .distributed import launch_workers
+
+    try:
+        fleet = launch_workers(args.connect, workers=args.workers, capacity=args.max_workers)
+    except (ReproError, OSError) as exc:
+        print(f"cannot launch workers: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"maintaining {fleet.workers} workers (capacity {fleet.capacity}) "
+        f"against {fleet.connect} (Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(1.0)
+            fleet.maintain()
+    except KeyboardInterrupt:
+        print("stopping workers...", file=sys.stderr)
+    finally:
+        fleet.shutdown()
     return 0
 
 
@@ -237,6 +340,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "serve":
         return _serve_command(args)
+    if args.command == "worker":
+        return _worker_command(args)
+    if args.command == "launch-workers":
+        return _launch_workers_command(args)
     config = PipelineConfig(seed=args.seed) if args.seed is not None else PipelineConfig()
     try:
         request = _request_from_args(args)

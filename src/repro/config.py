@@ -138,7 +138,62 @@ class IntegrationConfig:
 
 
 #: Execution modes understood by the sandbox runner and campaign orchestrator.
-EXECUTION_MODES = ("inprocess", "subprocess", "pool")
+EXECUTION_MODES = ("inprocess", "subprocess", "pool", "distributed")
+
+
+@dataclass
+class DistributedConfig:
+    """The distributed execution plane (:mod:`repro.distributed`).
+
+    The coordinator binds ``host:port`` (``port=0`` picks an ephemeral port,
+    published on the pool's ``address``) and accepts remote sandbox workers
+    over TCP.  With ``spawn_workers`` (the default) the first distributed
+    batch also spawns a localhost fleet of ``workers`` processes (``0``
+    defers to ``ExecutionConfig.max_workers``), each advertising
+    ``worker_capacity`` inner sandbox slots; external workers started with
+    ``python -m repro worker --connect HOST:PORT`` may join at any time.
+
+    ``lease_size`` bounds how many tasks ride one lease (``0`` defers to the
+    worker's advertised capacity).  A worker that misses heartbeats for
+    ``heartbeat_timeout_seconds`` — workers beat every
+    ``heartbeat_interval_seconds`` while executing — is declared lost and its
+    lease requeued under the :class:`ResilienceConfig` retry budget.  When no
+    workers at all are connected for ``worker_wait_seconds`` during an active
+    batch, outstanding tasks fail with error payloads instead of hanging.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    spawn_workers: bool = True
+    workers: int = 0
+    worker_capacity: int = 1
+    lease_size: int = 0
+    heartbeat_interval_seconds: float = 0.25
+    heartbeat_timeout_seconds: float = 5.0
+    worker_wait_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.host, str) or not self.host:
+            raise ConfigurationError("distributed host must be a non-empty string")
+        if not (0 <= self.port <= 65535):
+            raise ConfigurationError("distributed port must be in [0, 65535] (0 = ephemeral)")
+        if self.workers < 0:
+            raise ConfigurationError("distributed workers must be non-negative (0 = auto)")
+        if self.worker_capacity <= 0:
+            raise ConfigurationError("worker_capacity must be positive")
+        if self.lease_size < 0:
+            raise ConfigurationError("lease_size must be non-negative (0 = worker capacity)")
+        if self.heartbeat_interval_seconds <= 0:
+            raise ConfigurationError("heartbeat_interval_seconds must be positive")
+        if self.heartbeat_timeout_seconds <= self.heartbeat_interval_seconds:
+            raise ConfigurationError(
+                "heartbeat_timeout_seconds must exceed heartbeat_interval_seconds"
+            )
+        if self.worker_wait_seconds <= 0:
+            raise ConfigurationError("worker_wait_seconds must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
 
 
 @dataclass
@@ -147,13 +202,18 @@ class ExecutionConfig:
 
     ``max_workers`` is a request, not a guarantee: pools are capped from
     ``os.cpu_count()`` (see :func:`repro.execution.resolve_workers`).
+    ``distributed`` configures the machine-spanning plane used when a
+    request (or ``default_mode``) selects ``"distributed"``.
     """
 
     max_workers: int | None = None
     batch_size: int = 32
     default_mode: str = "inprocess"
+    distributed: DistributedConfig = field(default_factory=DistributedConfig)
 
     def __post_init__(self) -> None:
+        if isinstance(self.distributed, Mapping):
+            self.distributed = DistributedConfig(**self.distributed)
         if self.max_workers is not None and self.max_workers <= 0:
             raise ConfigurationError("max_workers must be positive when set")
         if self.batch_size <= 0:

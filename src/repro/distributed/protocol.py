@@ -1,0 +1,325 @@
+"""The distributed execution plane's wire protocol.
+
+Coordinator and workers speak **length-prefixed JSON frames** over TCP: a
+4-byte big-endian payload length followed by one UTF-8 JSON object.  The
+codec follows the same strictness conventions as the :mod:`repro.api` wire
+layer — an unknown frame ``kind``, an unknown field, or a malformed value is
+rejected with :class:`~repro.errors.RequestError` instead of being silently
+ignored, so a version-skewed or buggy peer fails loudly at the boundary.
+
+Frame kinds (see docs/DISTRIBUTED.md for the full reference):
+
+========== =================== ====================================================
+kind        direction           meaning
+========== =================== ====================================================
+hello       worker → coord      announce capacity, request registration
+register    coord → worker      accept the worker, assign id + heartbeat interval
+lease       coord → worker      a batch of sandbox tasks with a time budget
+result      worker → coord      per-task payloads for one lease (missing ⇒ requeue)
+heartbeat   worker → coord      liveness while a lease is executing (or idle)
+goodbye     either direction    graceful leave / coordinator shutdown
+========== =================== ====================================================
+
+Task payloads inside a lease are the plain dicts of
+:mod:`repro.execution.pool` plus a ``task_id``; they are deliberately opaque
+to the framing layer (validated only as JSON objects) so the execution plane
+can evolve without a protocol bump.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping
+
+from ..errors import RequestError
+
+#: Protocol revision; a worker and coordinator must agree exactly.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's JSON payload.  Leases carry whole module
+#: sources, so the bound is generous — but it must exist, or a corrupt
+#: length prefix could make a peer try to allocate gigabytes.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def _require(data: Mapping[str, Any], name: str, types: tuple[type, ...], kind: str) -> Any:
+    if name not in data:
+        raise RequestError(f"{kind} frame is missing required field {name!r}")
+    value = data[name]
+    if not isinstance(value, types) or isinstance(value, bool) and bool not in types:
+        expected = "/".join(t.__name__ for t in types)
+        raise RequestError(
+            f"{kind} frame field {name!r} must be {expected}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _frame_from_dict(cls, data: Mapping[str, Any]):
+    """Shared strict constructor: known fields only, kind must match."""
+    if not isinstance(data, Mapping):
+        raise RequestError(f"frame must be a JSON object, got {type(data).__name__}")
+    payload = dict(data)
+    kind = payload.pop("kind", cls.kind)
+    if kind != cls.kind:
+        raise RequestError(f"kind mismatch: expected {cls.kind!r}, got {kind!r}")
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise RequestError(
+            f"unknown {cls.kind} frame fields {unknown}; known fields: {sorted(known)}"
+        )
+    try:
+        return cls(**payload)
+    except RequestError:
+        raise
+    except TypeError as exc:
+        raise RequestError(f"malformed {cls.kind} frame: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class HelloFrame:
+    """Worker → coordinator: first frame on a fresh connection."""
+
+    kind = "hello"
+    worker_id: str
+    capacity: int
+    protocol_version: int = PROTOCOL_VERSION
+
+    def __post_init__(self) -> None:
+        _require(self.__dict__, "worker_id", (str,), self.kind)
+        capacity = _require(self.__dict__, "capacity", (int,), self.kind)
+        if capacity <= 0:
+            raise RequestError("hello frame capacity must be positive")
+        version = _require(self.__dict__, "protocol_version", (int,), self.kind)
+        if version != PROTOCOL_VERSION:
+            raise RequestError(
+                f"protocol version mismatch: coordinator speaks {PROTOCOL_VERSION}, "
+                f"worker sent {version}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "worker_id": self.worker_id,
+            "capacity": self.capacity,
+            "protocol_version": self.protocol_version,
+        }
+
+
+@dataclass(frozen=True)
+class RegisterFrame:
+    """Coordinator → worker: registration accepted, id + cadence assigned."""
+
+    kind = "register"
+    worker_id: str
+    heartbeat_interval_seconds: float
+    protocol_version: int = PROTOCOL_VERSION
+
+    def __post_init__(self) -> None:
+        _require(self.__dict__, "worker_id", (str,), self.kind)
+        interval = _require(self.__dict__, "heartbeat_interval_seconds", (int, float), self.kind)
+        if interval <= 0:
+            raise RequestError("register frame heartbeat_interval_seconds must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "worker_id": self.worker_id,
+            "heartbeat_interval_seconds": self.heartbeat_interval_seconds,
+            "protocol_version": self.protocol_version,
+        }
+
+
+@dataclass(frozen=True)
+class LeaseFrame:
+    """Coordinator → worker: a batch of sandbox tasks under one time budget.
+
+    ``tasks`` are the plain task dicts of :mod:`repro.execution.pool`, each
+    extended with a ``task_id`` the worker must echo in its result frame;
+    ``deadline_seconds`` is the wall-clock budget after which the coordinator
+    considers the lease lost and requeues it.
+    """
+
+    kind = "lease"
+    lease_id: int
+    tasks: tuple = ()
+    deadline_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.__dict__, "lease_id", (int,), self.kind)
+        tasks = _require(self.__dict__, "tasks", (list, tuple), self.kind)
+        if not tasks:
+            raise RequestError("lease frame must carry at least one task")
+        for task in tasks:
+            if not isinstance(task, Mapping) or "task_id" not in task:
+                raise RequestError("lease frame tasks must be objects with a task_id")
+        object.__setattr__(self, "tasks", tuple(dict(task) for task in tasks))
+        deadline = _require(self.__dict__, "deadline_seconds", (int, float), self.kind)
+        if deadline <= 0:
+            raise RequestError("lease frame deadline_seconds must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "lease_id": self.lease_id,
+            "tasks": [dict(task) for task in self.tasks],
+            "deadline_seconds": self.deadline_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class ResultFrame:
+    """Worker → coordinator: per-task payloads for one completed lease.
+
+    ``results`` maps ``task_id`` (stringified, JSON objects only key by
+    string) to the sandbox payload dict.  A task absent from the map was
+    disrupted on the worker (chaos drop, inner-pool death) and the
+    coordinator requeues it.
+    """
+
+    kind = "result"
+    lease_id: int
+    results: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(self.__dict__, "lease_id", (int,), self.kind)
+        results = _require(self.__dict__, "results", (Mapping,), self.kind)
+        for task_id, payload in results.items():
+            if not isinstance(payload, Mapping) or "status" not in payload:
+                raise RequestError(
+                    f"result frame payload for task {task_id!r} must be an object with a status"
+                )
+        object.__setattr__(
+            self, "results", {str(k): dict(v) for k, v in results.items()}
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "lease_id": self.lease_id,
+            "results": {k: dict(v) for k, v in self.results.items()},
+        }
+
+
+@dataclass(frozen=True)
+class HeartbeatFrame:
+    """Worker → coordinator: still alive (``lease_id`` while executing)."""
+
+    kind = "heartbeat"
+    worker_id: str
+    lease_id: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.__dict__, "worker_id", (str,), self.kind)
+        if self.lease_id is not None and not isinstance(self.lease_id, int):
+            raise RequestError("heartbeat frame lease_id must be an integer when set")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "worker_id": self.worker_id, "lease_id": self.lease_id}
+
+
+@dataclass(frozen=True)
+class GoodbyeFrame:
+    """Either direction: graceful leave, with a human-readable reason."""
+
+    kind = "goodbye"
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        _require(self.__dict__, "reason", (str,), self.kind)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "reason": self.reason}
+
+
+Frame = HelloFrame | RegisterFrame | LeaseFrame | ResultFrame | HeartbeatFrame | GoodbyeFrame
+
+_FRAME_TYPES = {
+    cls.kind: cls
+    for cls in (HelloFrame, RegisterFrame, LeaseFrame, ResultFrame, HeartbeatFrame, GoodbyeFrame)
+}
+
+#: Every frame kind the protocol understands, sorted for error messages.
+FRAME_KINDS = tuple(sorted(_FRAME_TYPES))
+
+
+def frame_from_dict(data: Any) -> Frame:
+    """Decode one JSON object into a typed frame.
+
+    Args:
+        data: The decoded JSON value of one frame.
+
+    Returns:
+        The typed frame instance.
+
+    Raises:
+        RequestError: If ``data`` is not an object, its ``kind`` is missing
+            or unknown, it carries unknown fields, or a field is malformed.
+    """
+    if not isinstance(data, Mapping):
+        raise RequestError(f"frame must be a JSON object, got {type(data).__name__}")
+    kind = data.get("kind")
+    if kind not in _FRAME_TYPES:
+        raise RequestError(f"unknown frame kind {kind!r}; available: {list(FRAME_KINDS)}")
+    return _frame_from_dict(_FRAME_TYPES[kind], data)
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """The full wire bytes of one frame: length prefix + JSON payload.
+
+    Raises:
+        RequestError: If the encoded frame exceeds :data:`MAX_FRAME_BYTES`.
+    """
+    payload = json.dumps(frame.to_dict(), sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise RequestError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, frame: Frame) -> None:
+    """Write one frame to a connected socket (callers serialize sends)."""
+    sock.sendall(encode_frame(frame))
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`ConnectionError` on EOF."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Frame:
+    """Read one length-prefixed frame from a connected socket.
+
+    Returns:
+        The decoded typed frame.
+
+    Raises:
+        ConnectionError: If the peer closed the connection.
+        RequestError: If the length prefix is oversized, the payload is not
+            valid JSON, or the frame fails strict validation.
+    """
+    (length,) = _LENGTH.unpack(_recv_exactly(sock, _LENGTH.size))
+    if length > MAX_FRAME_BYTES:
+        raise RequestError(
+            f"announced frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    payload = _recv_exactly(sock, length)
+    try:
+        data = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RequestError(f"frame payload is not valid JSON: {exc}") from exc
+    return frame_from_dict(data)

@@ -22,13 +22,17 @@ from .runner import RunObservation, SandboxRunner
 from .workspace import WorkspaceManager
 
 #: Faults with these templates/operators can legitimately hang; they are never
-#: executed in-process regardless of the requested default.  Pool workers
-#: enforce per-task timeouts, so pool mode is hang-safe as-is.
+#: executed in-process regardless of the requested default.  Pool and
+#: distributed workers enforce per-task timeouts, so both are hang-safe as-is.
 _HANG_PRONE_MARKERS = ("infinite_loop", "deadlock")
+
+_HANG_SAFE_MODES = ("pool", "distributed")
 
 
 def _effective_mode(mode: str, hint: str | None) -> str:
-    if mode != "pool" and any(marker in (hint or "") for marker in _HANG_PRONE_MARKERS):
+    if mode not in _HANG_SAFE_MODES and any(
+        marker in (hint or "") for marker in _HANG_PRONE_MARKERS
+    ):
         return "subprocess"
     return mode
 
@@ -89,6 +93,10 @@ class ExperimentRunner:
     def pool_stats(self) -> dict[str, int] | None:
         """Supervision counters of the sandbox runner's pool (``None`` before use)."""
         return self._runner.pool_stats()
+
+    def distributed_stats(self) -> dict[str, int] | None:
+        """Counters of the sandbox runner's distributed pool (``None`` before use)."""
+        return self._runner.distributed_stats()
 
     def close(self) -> None:
         """Release the sandbox runner if this experiment runner created it.

@@ -11,7 +11,12 @@ Three execution modes are provided:
   while keeping per-task timeouts;
 * ``inprocess`` — the workload runs in the current interpreter, which is much
   faster and is what unit tests and quick examples use for faults that cannot
-  hang.
+  hang;
+* ``distributed`` — the workload runs on remote sandbox workers leased over
+  TCP by a :class:`repro.distributed.DistributedPool`; on one box the pool
+  auto-spawns a localhost fleet, and extra workers on other machines may dial
+  in with ``python -m repro worker --connect HOST:PORT`` at any time.
+  Results are byte-identical to ``pool`` mode (see docs/DISTRIBUTED.md).
 
 Batches submitted through :meth:`SandboxRunner.run_batch` execute concurrently
 (threads driving subprocesses, or pool workers) and always return observations
@@ -53,7 +58,11 @@ result = target.execute(source=source, iterations=int(sys.argv[3]), seed=int(sys
 sys.stdout.write(json.dumps(result.to_dict()))
 """
 
-_MODES = ("subprocess", "inprocess", "pool")
+_MODES = ("subprocess", "inprocess", "pool", "distributed")
+
+#: Counter keys shared by the local and distributed pools whose values must
+#: survive a pool rebuild (``/v1/stats`` is monotonic within one engine).
+_POOL_COUNTER_KEYS = ("tasks_executed", "pool_rebuilds", "retries", "quarantined")
 
 
 @dataclass
@@ -84,6 +93,9 @@ class SandboxRunner:
         self._execution = execution or ExecutionConfig()
         self._resilience = resilience or ResilienceConfig()
         self._pool: WorkerPool | None = None
+        self._distributed = None  # lazily-created repro.distributed.DistributedPool
+        self._retired_pool_stats = dict.fromkeys(_POOL_COUNTER_KEYS, 0)
+        self._retired_distributed_stats: dict[str, int] = {}
         self._scratch: tempfile.TemporaryDirectory | None = None
         self._task_ids = itertools.count()
         self._lock = threading.Lock()
@@ -101,18 +113,50 @@ class SandboxRunner:
         return self._resilience
 
     def pool_stats(self) -> dict[str, int] | None:
-        """Supervision counters of the lazily-created pool (``None`` before use)."""
+        """Supervision counters of the lazily-created pool (``None`` before use).
+
+        Counters accumulate across pool rebuilds (e.g. a per-call
+        ``max_workers`` override replacing the pool), so they are monotonic
+        for the lifetime of this runner.
+        """
         with self._lock:
             pool = self._pool
-        return pool.stats() if pool is not None else None
+            retired = dict(self._retired_pool_stats)
+        if pool is None:
+            return retired if any(retired.values()) else None
+        stats = pool.stats()
+        return {key: stats.get(key, 0) + retired.get(key, 0) for key in _POOL_COUNTER_KEYS}
+
+    def distributed_stats(self) -> dict[str, int] | None:
+        """Counters of the lazily-created distributed pool (``None`` before use).
+
+        Like :meth:`pool_stats`, cumulative counters survive pool rebuilds;
+        the ``workers`` gauge always reflects the live pool only.
+        """
+        with self._lock:
+            pool = self._distributed
+            retired = dict(self._retired_distributed_stats)
+        if pool is None:
+            if not retired:
+                return None
+            keys = ("leases", "requeues", "rebalances", *_POOL_COUNTER_KEYS)
+            return {"workers": 0, **{key: retired.get(key, 0) for key in keys}}
+        stats = pool.stats()
+        return {
+            key: (value if key == "workers" else value + retired.get(key, 0))
+            for key, value in stats.items()
+        }
 
     def close(self) -> None:
-        """Release the worker pool and the scratch directory (idempotent)."""
+        """Release the worker pools and the scratch directory (idempotent)."""
         with self._lock:
             pool, self._pool = self._pool, None
+            distributed, self._distributed = self._distributed, None
             scratch, self._scratch = self._scratch, None
         if pool is not None:
             pool.shutdown()
+        if distributed is not None:
+            distributed.shutdown()
         if scratch is not None:
             scratch.cleanup()
 
@@ -138,7 +182,8 @@ class SandboxRunner:
             seed: Workload seed; the same seed reproduces the same run.
             iterations: Workload iterations; defaults to
                 ``IntegrationConfig.workload_iterations``.
-            mode: One of ``"inprocess"``, ``"subprocess"``, or ``"pool"``.
+            mode: One of ``"inprocess"``, ``"subprocess"``, ``"pool"``, or
+                ``"distributed"``.
 
         Returns:
             A :class:`RunObservation` with the run result or the harness-level
@@ -154,6 +199,8 @@ class SandboxRunner:
             return self._run_subprocess(target_name, module_source, seed, iterations)
         if mode == "pool":
             return self._run_pool(target_name, [module_source], seed, iterations)[0]
+        if mode == "distributed":
+            return self._run_distributed(target_name, [module_source], seed, iterations)[0]
         raise SandboxError(f"unknown runner mode {mode!r}; use one of {_MODES}")
 
     def run_batch(
@@ -181,7 +228,8 @@ class SandboxRunner:
             seed: Workload seed shared by every run in the batch.
             iterations: Workload iterations; defaults to
                 ``IntegrationConfig.workload_iterations``.
-            mode: One of ``"inprocess"``, ``"subprocess"``, or ``"pool"``.
+            mode: One of ``"inprocess"``, ``"subprocess"``, ``"pool"``, or
+                ``"distributed"``.
             max_workers: Per-call worker override (capped by the CPU count).
             batch_size: Chunk size for submissions; defaults to
                 ``ExecutionConfig.batch_size``.
@@ -254,6 +302,10 @@ class SandboxRunner:
                         module_sources,
                     )
                 )
+        if mode == "distributed":
+            return self._run_distributed(
+                target_name, module_sources, seed, iterations, max_workers, timeout_seconds
+            )
         return self._run_pool(target_name, module_sources, seed, iterations, max_workers, timeout_seconds)
 
     # -- modes --------------------------------------------------------------------
@@ -340,6 +392,25 @@ class SandboxRunner:
         )
         return [self._observation_from_pool(payload) for payload in payloads]
 
+    def _run_distributed(
+        self,
+        target_name: str,
+        module_sources: list[str],
+        seed: int,
+        iterations: int,
+        max_workers: int | None = None,
+        timeout_seconds: float | None = None,
+    ) -> list[RunObservation]:
+        pool = self._ensure_distributed(max_workers)
+        payloads = pool.run_batch(
+            target_name,
+            module_sources,
+            seed=seed,
+            iterations=iterations,
+            timeout_seconds=timeout_seconds if timeout_seconds is not None else self._config.test_timeout_seconds,
+        )
+        return [self._observation_from_pool(payload) for payload in payloads]
+
     # -- helpers ------------------------------------------------------------------
 
     def _ensure_pool(self, max_workers: int | None = None) -> WorkerPool:
@@ -351,8 +422,11 @@ class SandboxRunner:
                 and self._pool.max_workers != workers
             ):
                 # An explicit per-call override takes effect even if a pool of a
-                # different size already exists.
+                # different size already exists.  Its counters roll into the
+                # retired totals so /v1/stats stays monotonic across rebuilds.
                 stale, self._pool = self._pool, None
+                self._accumulate_locked(self._retired_pool_stats, stale.stats())
+                self._retired_pool_stats["pool_rebuilds"] += 1
             else:
                 stale = None
             if self._pool is None:
@@ -365,6 +439,41 @@ class SandboxRunner:
         if stale is not None:
             stale.shutdown()
         return pool
+
+    def _ensure_distributed(self, max_workers: int | None = None):
+        from ..distributed import DistributedPool
+
+        workers = self._execution.resolved_workers(max_workers)
+        with self._lock:
+            if (
+                self._distributed is not None
+                and max_workers is not None
+                and self._distributed.max_workers != workers
+            ):
+                stale, self._distributed = self._distributed, None
+                self._accumulate_locked(self._retired_distributed_stats, stale.stats())
+                self._retired_distributed_stats["pool_rebuilds"] += 1
+            else:
+                stale = None
+            if self._distributed is None:
+                self._distributed = DistributedPool(
+                    max_workers=workers,
+                    task_timeout_seconds=self._config.test_timeout_seconds,
+                    resilience=self._resilience,
+                    distributed=self._execution.distributed,
+                )
+            pool = self._distributed
+        if stale is not None:
+            stale.shutdown()
+        return pool
+
+    @staticmethod
+    def _accumulate_locked(retired: dict[str, int], stats: dict[str, int]) -> None:
+        """Fold a retired pool's counters into the running totals (gauges skipped)."""
+        for key, value in stats.items():
+            if key == "workers":
+                continue
+            retired[key] = retired.get(key, 0) + value
 
     def _scratch_file(self) -> Path:
         """A unique module path inside the runner's persistent scratch directory.

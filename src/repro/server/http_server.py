@@ -244,9 +244,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str, path: str, query: dict) -> None:
         if path == "/healthz":
-            self._require(method, "GET") and self._send_json(
-                200, {"status": "ok", "schema_version": SCHEMA_VERSION}
-            )
+            self._require(method, "GET") and self._send_json(200, self.app.health())
             return
         if path == "/v1/stats":
             self._require(method, "GET") and self._send_json(200, self.app.stats())
@@ -595,6 +593,25 @@ class FaultInjectionServer:
         self.close()
 
     # -- observability -----------------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``GET /healthz`` body: liveness plus routing signals.
+
+        Beyond bare liveness, a front-end or load balancer gets what it needs
+        to route around a saturated shard: the scheduler's current
+        ``queue_depth``, whether this server is ``draining`` (graceful
+        shutdown in progress), and how many circuit breakers are currently
+        ``open`` (execution planes failing fast).
+        """
+        with self._lock:
+            draining = self._draining
+        return {
+            "status": "ok",
+            "schema_version": SCHEMA_VERSION,
+            "queue_depth": self.engine.queue_depth,
+            "draining": draining,
+            "open_breakers": self.engine.open_breakers(),
+        }
 
     def stats(self) -> dict:
         """Serving counters, scheduler behaviour, and cache hit rates."""

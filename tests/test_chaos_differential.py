@@ -16,7 +16,14 @@ import pytest
 
 from repro import PipelineConfig
 from repro.api import FaultInjectionEngine, GenerateRequest
-from repro.config import ChaosConfig, EngineConfig, ExecutionConfig, ResilienceConfig
+from repro.config import (
+    ChaosConfig,
+    DistributedConfig,
+    EngineConfig,
+    ExecutionConfig,
+    ResilienceConfig,
+)
+from repro.distributed import DistributedPool
 from repro.execution import WorkerPool
 from repro.targets import get_target
 
@@ -91,6 +98,51 @@ class TestPoolChaosDifferential:
 
 
 @pytest.mark.pool
+class TestDistributedChaosDifferential:
+    """The network-plane generalization: chaos kills *remote* workers.
+
+    Chaos travels inside lease task payloads and is acted out at the worker
+    process boundary — a scheduled crash SIGKILLs the whole remote worker,
+    which the coordinator observes as an abrupt connection loss, exactly like
+    a machine death.  The differential claim is the ISSUE's headline: a
+    distributed campaign over 3 localhost workers, with at least one worker
+    killed mid-run, is byte-identical to single-process pooled execution.
+    """
+
+    def _distributed_pool(self, resilience: ResilienceConfig | None) -> DistributedPool:
+        return DistributedPool(
+            max_workers=3,
+            task_timeout_seconds=5.0,
+            resilience=resilience,
+            distributed=DistributedConfig(workers=3),
+        )
+
+    def test_chaotic_distributed_matches_fault_free_pool(self):
+        bank = get_target("bank").build_source()
+        sources = [bank] * 6
+        with WorkerPool(max_workers=2, task_timeout_seconds=5.0) as pool:
+            baseline = pool.run_batch("bank", sources, seed=7, iterations=10)
+        with self._distributed_pool(ResilienceConfig(chaos=CHAOS)) as pool:
+            chaotic = pool.run_batch("bank", sources, seed=7, iterations=10)
+            stats = pool.stats()
+        assert [p["status"] for p in baseline] == ["ok"] * 6
+        assert [_stable(p) for p in chaotic] == [_stable(p) for p in baseline]
+        # at least one remote worker was killed mid-run and its lease requeued
+        assert stats["requeues"] > 0
+        assert stats["retries"] > 0
+        assert stats["pool_rebuilds"] > 0  # the fleet respawned the victim
+
+    def test_distributed_chaos_decisions_repeat_across_runs(self):
+        bank = get_target("bank").build_source()
+        runs = []
+        for _ in range(2):
+            with self._distributed_pool(ResilienceConfig(chaos=CHAOS)) as pool:
+                payloads = pool.run_batch("bank", [bank] * 4, seed=7, iterations=10)
+                runs.append(([_stable(p) for p in payloads], pool.stats()["retries"]))
+        assert runs[0] == runs[1]
+
+
+@pytest.mark.pool
 class TestEngineChaosDifferential:
     def _engine(self, chaos: ChaosConfig | None) -> FaultInjectionEngine:
         resilience = ResilienceConfig(chaos=chaos) if chaos is not None else ResilienceConfig()
@@ -122,3 +174,22 @@ class TestEngineChaosDifferential:
         assert chaos_wire == base_wire
         # supervision visibly intervened during the chaotic run
         assert stats["totals"]["retries"] + stats["totals"]["pool_rebuilds"] > 0
+
+    def test_served_distributed_results_are_byte_identical_under_chaos(self):
+        requests = [
+            GenerateRequest(description=text, target="bank", execute=True, mode="distributed")
+            for text in DESCRIPTIONS
+        ]
+        with self._engine(None) as engine:
+            baseline = engine.run_many(requests)
+        with self._engine(CHAOS) as engine:
+            chaotic = engine.run_many(requests)
+            stats = engine.execution_stats()
+        assert all(r.ok for r in baseline)
+        assert all(r.ok for r in chaotic)
+        base_wire = [_deterministic_wire(r) for r in baseline]
+        chaos_wire = [_deterministic_wire(r) for r in chaotic]
+        assert chaos_wire == base_wire
+        # the distributed plane visibly intervened and reported it
+        assert stats["distributed"]["leases"] > 0
+        assert stats["totals"]["retries"] > 0

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
 
 DESCRIPTION = "Simulate a timeout in the transfer function causing an unhandled exception"
 
@@ -113,6 +113,59 @@ class TestCampaignCommand:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "unknown techniques" in captured.err
+
+
+class TestDistributedFlags:
+    def test_serve_accepts_max_queue_depth(self):
+        args = build_parser().parse_args(["serve", "--max-queue-depth", "7"])
+        assert args.max_queue_depth == 7
+        assert build_parser().parse_args(["serve"]).max_queue_depth is None
+
+    def test_worker_flags_parse(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "127.0.0.1:7001", "--max-workers", "2", "--worker-id", "w9"]
+        )
+        assert args.connect == "127.0.0.1:7001"
+        assert args.max_workers == 2
+        assert args.worker_id == "w9"
+
+    def test_worker_requires_connect(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+        capsys.readouterr()
+
+    def test_launch_workers_flags_parse(self):
+        args = build_parser().parse_args(
+            ["launch-workers", "-n", "5", "--connect", "127.0.0.1:7001", "--max-workers", "2"]
+        )
+        assert args.workers == 5
+        assert args.connect == "127.0.0.1:7001"
+        assert args.max_workers == 2
+        assert build_parser().parse_args(["launch-workers", "--connect", "h:1"]).workers == 4
+
+    def test_help_text_mirrors_chaos_flag_style(self, capsys):
+        for command in ("worker", "launch-workers"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--help"])
+            text = capsys.readouterr().out
+            assert "--connect HOST:PORT" in text
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--help"])
+        text = capsys.readouterr().out
+        assert "--max-queue-depth N" in text
+        assert "429" in text and "admission control" in text
+
+    def test_worker_with_bad_address_exits_with_code_two(self, capsys):
+        exit_code = main(["worker", "--connect", "not-an-address"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "worker failed" in captured.err
+
+    def test_launch_workers_with_bad_address_exits_with_code_two(self, capsys):
+        exit_code = main(["launch-workers", "--connect", "host:", "-n", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot launch workers" in captured.err
 
 
 class TestServeCommand:

@@ -1,0 +1,179 @@
+"""Wire-protocol tests for the distributed execution plane.
+
+The frame codec follows the strict conventions of the ``repro.api`` wire
+layer: unknown kinds, unknown fields, and malformed values are rejected with
+``RequestError`` at the boundary instead of being silently ignored.  These
+tests are pure unit tests (plus a ``socketpair`` round-trip) — no worker
+processes are spawned.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import pytest
+
+from repro.distributed import (
+    FRAME_KINDS,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    GoodbyeFrame,
+    HeartbeatFrame,
+    HelloFrame,
+    LeaseFrame,
+    RegisterFrame,
+    ResultFrame,
+    encode_frame,
+    frame_from_dict,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.errors import ConfigurationError, RequestError
+
+TASK = {"task_id": "0", "target": "bank", "source": "x = 1\n", "seed": 3}
+
+FRAMES = [
+    HelloFrame(worker_id="w1", capacity=2),
+    RegisterFrame(worker_id="w1", heartbeat_interval_seconds=0.25),
+    LeaseFrame(lease_id=7, tasks=(TASK,), deadline_seconds=12.5),
+    ResultFrame(lease_id=7, results={"0": {"status": "ok", "result": {"completed": True}}}),
+    HeartbeatFrame(worker_id="w1", lease_id=7),
+    HeartbeatFrame(worker_id="w1"),
+    GoodbyeFrame(reason="drained"),
+]
+
+
+class TestFrameCodec:
+    @pytest.mark.parametrize("frame", FRAMES, ids=lambda f: f.kind)
+    def test_frames_round_trip_through_dicts(self, frame):
+        rebuilt = frame_from_dict(frame.to_dict())
+        assert rebuilt == frame
+        assert rebuilt.to_dict() == frame.to_dict()
+
+    def test_all_kinds_are_registered(self):
+        assert FRAME_KINDS == ("goodbye", "heartbeat", "hello", "lease", "register", "result")
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(RequestError, match="unknown frame kind"):
+            frame_from_dict({"kind": "teleport"})
+
+    def test_missing_kind_is_rejected(self):
+        with pytest.raises(RequestError, match="unknown frame kind"):
+            frame_from_dict({"worker_id": "w1"})
+
+    def test_non_object_frame_is_rejected(self):
+        with pytest.raises(RequestError, match="JSON object"):
+            frame_from_dict(["hello"])
+
+    def test_unknown_field_is_rejected(self):
+        data = HelloFrame(worker_id="w1", capacity=1).to_dict()
+        data["surprise"] = 1
+        with pytest.raises(RequestError, match="unknown hello frame fields"):
+            frame_from_dict(data)
+
+    def test_missing_required_field_is_rejected(self):
+        with pytest.raises(RequestError, match="malformed hello frame"):
+            frame_from_dict({"kind": "hello", "capacity": 1})
+
+    def test_wrong_field_type_is_rejected(self):
+        with pytest.raises(RequestError, match="must be int"):
+            frame_from_dict({"kind": "hello", "worker_id": "w1", "capacity": "two"})
+
+    def test_bool_is_not_an_acceptable_int(self):
+        with pytest.raises(RequestError, match="must be int"):
+            frame_from_dict({"kind": "hello", "worker_id": "w1", "capacity": True})
+
+    def test_protocol_version_mismatch_is_rejected(self):
+        data = HelloFrame(worker_id="w1", capacity=1).to_dict()
+        data["protocol_version"] = PROTOCOL_VERSION + 1
+        with pytest.raises(RequestError, match="protocol version mismatch"):
+            frame_from_dict(data)
+
+    def test_lease_requires_tasks_with_ids(self):
+        with pytest.raises(RequestError, match="at least one task"):
+            LeaseFrame(lease_id=1, tasks=(), deadline_seconds=1.0)
+        with pytest.raises(RequestError, match="task_id"):
+            LeaseFrame(lease_id=1, tasks=({"source": "x"},), deadline_seconds=1.0)
+        with pytest.raises(RequestError, match="deadline_seconds must be positive"):
+            LeaseFrame(lease_id=1, tasks=(TASK,), deadline_seconds=0.0)
+
+    def test_result_payloads_require_a_status(self):
+        with pytest.raises(RequestError, match="status"):
+            ResultFrame(lease_id=1, results={"0": {"result": {}}})
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(RequestError, match="capacity must be positive"):
+            HelloFrame(worker_id="w1", capacity=0)
+
+
+class TestSocketFraming:
+    def _pair(self):
+        left, right = socket.socketpair()
+        left.settimeout(5.0)
+        right.settimeout(5.0)
+        return left, right
+
+    @pytest.mark.parametrize("frame", FRAMES, ids=lambda f: f.kind)
+    def test_frames_round_trip_over_a_socket(self, frame):
+        left, right = self._pair()
+        try:
+            send_frame(left, frame)
+            assert recv_frame(right) == frame
+        finally:
+            left.close()
+            right.close()
+
+    def test_back_to_back_frames_are_delimited(self):
+        left, right = self._pair()
+        try:
+            for frame in FRAMES:
+                send_frame(left, frame)
+            for frame in FRAMES:
+                assert recv_frame(right) == frame
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_mid_frame_raises_connection_error(self):
+        left, right = self._pair()
+        try:
+            left.sendall(encode_frame(GoodbyeFrame(reason="x"))[:3])
+            left.close()
+            with pytest.raises(ConnectionError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_announced_length_is_rejected(self):
+        left, right = self._pair()
+        try:
+            left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(RequestError, match="exceeds"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_invalid_json_payload_is_rejected(self):
+        left, right = self._pair()
+        try:
+            payload = b"{not json"
+            left.sendall(struct.pack(">I", len(payload)) + payload)
+            with pytest.raises(RequestError, match="not valid JSON"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestParseAddress:
+    def test_parses_host_and_port(self):
+        assert parse_address("127.0.0.1:7001") == ("127.0.0.1", 7001)
+        assert parse_address("[::1]:7001") == ("::1", 7001)
+
+    def test_rejects_malformed_addresses(self):
+        for bad in ("localhost", ":7001", "host:", "host:abc", "host:0", "host:70000"):
+            with pytest.raises(ConfigurationError):
+                parse_address(bad)

@@ -22,6 +22,7 @@ DOC_FILES = [
     REPO_ROOT / "README.md",
     REPO_ROOT / "docs" / "API.md",
     REPO_ROOT / "docs" / "ARCHITECTURE.md",
+    REPO_ROOT / "docs" / "DISTRIBUTED.md",
     REPO_ROOT / "docs" / "EXECUTION.md",
     REPO_ROOT / "docs" / "RESILIENCE.md",
     REPO_ROOT / "docs" / "SERVING.md",
@@ -46,6 +47,7 @@ class TestDocsExistAndAreLinked:
         assert "docs/EXECUTION.md" in readme
         assert "docs/RESILIENCE.md" in readme
         assert "docs/SERVING.md" in readme
+        assert "docs/DISTRIBUTED.md" in readme
 
     def test_docs_cross_reference_each_other(self):
         api = (REPO_ROOT / "docs" / "API.md").read_text()
@@ -53,6 +55,7 @@ class TestDocsExistAndAreLinked:
         execution = (REPO_ROOT / "docs" / "EXECUTION.md").read_text()
         resilience = (REPO_ROOT / "docs" / "RESILIENCE.md").read_text()
         serving = (REPO_ROOT / "docs" / "SERVING.md").read_text()
+        distributed = (REPO_ROOT / "docs" / "DISTRIBUTED.md").read_text()
         assert "EXECUTION.md" in architecture
         assert "ARCHITECTURE.md" in execution
         assert "ARCHITECTURE.md" in api
@@ -63,6 +66,11 @@ class TestDocsExistAndAreLinked:
         assert "RESILIENCE.md" in architecture
         assert "SERVING.md" in resilience
         assert "EXECUTION.md" in resilience
+        assert "DISTRIBUTED.md" in architecture
+        assert "DISTRIBUTED.md" in execution
+        assert "EXECUTION.md" in distributed
+        assert "ARCHITECTURE.md" in distributed
+        assert "RESILIENCE.md" in distributed
 
     def test_serving_example_is_referenced(self):
         example = REPO_ROOT / "examples" / "serving_engine.py"

@@ -126,6 +126,21 @@ class TestSandboxRunnerBatches:
         assert runner.run_batch("bank", [], mode="pool") == []
 
 
+@pytest.mark.pool
+class TestPoolStatsAcrossRebuilds:
+    def test_counters_accumulate_across_max_workers_rebuilds(self, runner, bank_source):
+        assert runner.pool_stats() is None
+        runner.run_batch("bank", [bank_source], mode="pool", max_workers=1, iterations=5)
+        first = runner.pool_stats()
+        assert first["tasks_executed"] == 1
+        # a per-call max_workers override replaces the pool; the counters it
+        # accumulated must survive the rebuild so /v1/stats stays monotonic
+        runner.run_batch("bank", [bank_source] * 2, mode="pool", max_workers=2, iterations=5)
+        second = runner.pool_stats()
+        assert second["tasks_executed"] == 3
+        assert second["pool_rebuilds"] == first["pool_rebuilds"] + 1
+
+
 class TestSandboxRunnerObservationBranches:
     def test_subprocess_timeout_sets_timed_out(self, runner, bank_source):
         observation = runner.run("bank", bank_source + HANG_ON_LOAD, mode="subprocess")

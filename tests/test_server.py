@@ -202,6 +202,21 @@ class TestLiveServer:
         assert status == 200
         assert body["status"] == "ok"
 
+    def test_healthz_carries_routing_signals(self, server):
+        """Pin the load-balancer contract: queue depth, draining, breakers."""
+        status, body = _exchange(server, "GET", "/healthz")
+        assert status == 200
+        assert body["queue_depth"] == 0
+        assert body["draining"] is False
+        assert body["open_breakers"] == 0
+        assert set(body) == {
+            "status",
+            "schema_version",
+            "queue_depth",
+            "draining",
+            "open_breakers",
+        }
+
     def test_sync_generate_returns_the_envelope(self, server):
         status, envelope = _exchange(
             server, "POST", "/v1/generate", {"description": DESCRIPTION, "target": "bank"}
