@@ -1,0 +1,267 @@
+"""BENCH_SHARDED_SERVING — 4-shard consistent-hash serving vs one engine.
+
+Sharded serving exists so execution-heavy traffic spread over several targets
+stops convoying on one engine's execution stage.  This benchmark pins that:
+two actual ``python -m repro serve`` deployments are spawned — ``--shards 1``
+(the classic single-engine server) and ``--shards 4`` (four engine worker
+processes behind the consistent-hash router) — and the same execution-heavy
+workload (delay/timeout faults across all four builtin targets, submitted
+asynchronously by concurrent HTTP clients) is timed against both.
+
+Two invariants are enforced:
+
+* throughput — the 4-shard topology must be >= 2.5x the single-engine
+  topology on this workload (each target's requests land on their own shard,
+  so the four per-target execution groups overlap instead of serializing);
+* byte identity — every request's deterministic payload fields must
+  serialize to exactly the same JSON bytes under both topologies.  Routing
+  must not buy drift.
+
+``BENCH_QUICK=1`` shrinks the request count but keeps 4 shards — the floor
+is gated on quick output too.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+from conftest import write_result
+
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+#: Delay-flavoured scenarios: sandbox runs are sleep-bound, so the win
+#: measured here is topology (overlapping per-target execution groups), not
+#: CPU parallelism — it holds on a single-core runner.  The explicit delay
+#: durations are calibrated to the workload's per-function call counts so
+#: every request's sandbox run lasts ~2s regardless of target.
+SCENARIOS = {
+    "ecommerce": [
+        "Introduce a delay of 0.04 seconds into the charge_payment function that slows every checkout",
+        "Introduce a delay of 0.15 seconds into the reserve_inventory function that slows every order",
+    ],
+    "kvstore": [
+        "Introduce a delay of 0.07 seconds into the put function that slows every write",
+        "Introduce a delay of 0.25 seconds into the get function that slows every lookup",
+    ],
+    "bank": [
+        "Introduce a delay of 0.07 seconds into the transfer function that slows every payment",
+        "Introduce a delay of 0.25 seconds into the withdraw function that slows every withdrawal",
+    ],
+    "queue": [
+        "Introduce a delay of 0.04 seconds into the publish function that slows every enqueue",
+        "Introduce a delay of 0.03 seconds into the consume function that slows every poll",
+    ],
+}
+
+REQUESTS_PER_TARGET = 3 if QUICK else 4
+CLIENT_THREADS = 4
+SHARDS = 4
+MIN_SPEEDUP = 2.5
+POLL_INTERVAL_SECONDS = 0.02
+
+
+def _workload() -> list[tuple[str, str]]:
+    """(description, target) pairs, round-robin over targets so every client
+    thread touches several shards."""
+    pairs = []
+    for index in range(REQUESTS_PER_TARGET):
+        for target, scenarios in SCENARIOS.items():
+            pairs.append((scenarios[index % len(scenarios)], target))
+    return pairs
+
+
+def _canonical_payload(payload: dict) -> str:
+    """Wire payload → canonical JSON of its deterministic fields only.
+
+    Serving observations are excluded: ``batch_size`` (how many requests
+    shared a forward pass differs between one engine and four) and the
+    outcome's measured ``duration_seconds``/wall-clock fragments.  Everything
+    else — the fault, strategy, logprobs, activation, failure mode, execution
+    details — must be byte-identical between topologies.
+    """
+    data = dict(payload)
+    data.pop("batch_size", None)
+    if data.get("outcome"):
+        outcome = {k: v for k, v in data["outcome"].items() if k != "duration_seconds"}
+        if isinstance(outcome.get("details"), dict):
+            details = dict(outcome["details"])
+            if isinstance(details.get("reason"), str):
+                details["reason"] = re.sub(
+                    r"\d+(?:\.\d+)?s\b", "<wall-clock>s", details["reason"]
+                )
+            outcome["details"] = details
+        data["outcome"] = outcome
+    return json.dumps(data, sort_keys=True)
+
+
+def _spawn_server(shards: int) -> tuple[subprocess.Popen, str]:
+    """Start ``python -m repro serve --shards N`` and return (process, URL)."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--mode",
+            "pool",
+            "--max-workers",
+            "2",
+            "--queue-delay",
+            "0.002",
+            "--shards",
+            str(shards),
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    seen: list[str] = []
+    while True:
+        line = process.stderr.readline()
+        if not line:
+            process.kill()
+            raise RuntimeError(f"server did not start; stderr was {seen!r}")
+        if "serving on " in line:
+            return process, line.split("serving on ")[1].split(" ")[0]
+        seen.append(line.rstrip())
+
+
+def _http(connection: http.client.HTTPConnection, method: str, path: str, body=None):
+    payload = json.dumps(body).encode("utf-8") if body is not None else None
+    connection.request(method, path, body=payload, headers={"Content-Type": "application/json"})
+    response = connection.getresponse()
+    return response.status, json.loads(response.read())
+
+
+def _concurrent_http(url: str, workload, tag: str):
+    """CLIENT_THREADS async submitters + pollers against one deployment."""
+    host, port = url.removeprefix("http://").rsplit(":", 1)
+    bodies = [
+        {
+            "description": description,
+            "target": target,
+            "execute": True,
+            "mode": "pool",
+            "request_id": f"{tag}-{index}",
+        }
+        for index, (description, target) in enumerate(workload)
+    ]
+    payloads: list[str | None] = [None] * len(bodies)
+    errors: list[str] = []
+
+    def client(offset: int) -> None:
+        connection = http.client.HTTPConnection(host, int(port), timeout=120)
+        try:
+            mine = list(range(offset, len(bodies), CLIENT_THREADS))
+            for index in mine:
+                status, ticket = _http(
+                    connection, "POST", "/v1/generate?async=1", bodies[index]
+                )
+                if status != 202:
+                    errors.append(f"submit {index}: HTTP {status} {ticket}")
+                    return
+            for index in mine:
+                while True:
+                    status, envelope = _http(
+                        connection, "GET", f"/v1/requests/{tag}-{index}"
+                    )
+                    if status == 202:
+                        time.sleep(POLL_INTERVAL_SECONDS)
+                        continue
+                    if status != 200 or envelope["status"] != "ok":
+                        errors.append(f"poll {index}: HTTP {status} {envelope}")
+                        return
+                    payloads[index] = _canonical_payload(envelope["payload"])
+                    break
+        finally:
+            connection.close()
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(CLIENT_THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+    assert all(payload is not None for payload in payloads)
+    return elapsed, payloads
+
+
+def _run_topology(shards: int, workload):
+    """One deployment: spawn, warm each target's pool, time, drain."""
+    process, url = _spawn_server(shards)
+    try:
+        warm = [(SCENARIOS[target][0], target) for target in SCENARIOS]
+        _concurrent_http(url, warm, tag=f"warm{shards}")
+        elapsed, payloads = _concurrent_http(url, workload, tag=f"bench{shards}")
+        connection = http.client.HTTPConnection(host := url.removeprefix("http://").rsplit(":", 1)[0],
+                                                int(url.rsplit(":", 1)[1]), timeout=30)
+        _, stats = _http(connection, "GET", "/v1/stats")
+        connection.close()
+    finally:
+        process.send_signal(signal.SIGINT)
+        exit_code = process.wait(timeout=120)
+    assert exit_code == 0, f"--shards {shards} server did not drain cleanly (exit {exit_code})"
+    return elapsed, payloads, stats
+
+
+def test_sharded_serving_throughput():
+    workload = _workload()
+
+    single_seconds, single_payloads, _single_stats = _run_topology(1, workload)
+    sharded_seconds, sharded_payloads, sharded_stats = _run_topology(SHARDS, workload)
+
+    # Byte identity: the router must not change a single deterministic
+    # payload byte relative to the single-engine server.
+    identical = 1.0 if sharded_payloads == single_payloads else 0.0
+    assert identical == 1.0, "sharded payloads drifted from the single-engine server"
+
+    speedup = single_seconds / sharded_seconds
+    aggregate = sharded_stats["aggregate"]
+    per_shard_requests = [
+        shard["stats"]["server"]["requests_total"] for shard in sharded_stats["shards"]
+    ]
+
+    payload = {
+        "quick": QUICK,
+        "requests": len(workload),
+        "client_threads": CLIENT_THREADS,
+        "shards": SHARDS,
+        "min_speedup": MIN_SPEEDUP,
+        "serving": {
+            "single_engine_seconds": round(single_seconds, 3),
+            "sharded_seconds": round(sharded_seconds, 3),
+            "speedup": round(speedup, 2),
+            "identical": identical,
+            "single_rps": round(len(workload) / single_seconds, 2),
+            "sharded_rps": round(len(workload) / sharded_seconds, 2),
+        },
+        "aggregate": {
+            "requests_total": aggregate["requests_total"],
+            "shards": aggregate["shards"],
+            "shard_respawns": aggregate["shard_respawns"],
+        },
+        "per_shard_requests_total": per_shard_requests,
+    }
+    table_rows = [
+        f"{'topology':<16} {'wall (s)':>10} {'rps':>8}",
+        f"{'1 engine':<16} {single_seconds:>10.3f} {len(workload) / single_seconds:>8.2f}",
+        f"{SHARDS} shards{'':<8} {sharded_seconds:>10.3f} {len(workload) / sharded_seconds:>8.2f}",
+        f"speedup: {speedup:.1f}x (floor {MIN_SPEEDUP}x); payloads byte-identical: {bool(identical)}",
+        f"per-shard requests_total: {per_shard_requests}",
+    ]
+    write_result("sharded_serving", payload, table="\n".join(table_rows))
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"4-shard serving speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor"
+    )

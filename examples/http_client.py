@@ -11,6 +11,10 @@ docs/SERVING.md:
   coalesces in the engine's continuous-batching scheduler);
 * ``GET /v1/stats`` — observe the batching that served the burst.
 
+Wire JSON is decoded through the typed codecs — ``Response.from_dict`` for
+envelopes and ``StatsSnapshot.from_dict`` for the stats document — so a typo
+in a field name fails loudly instead of returning ``None``.
+
 Run with:
     PYTHONPATH=src python examples/http_client.py
 """
@@ -22,6 +26,8 @@ import json
 import threading
 import time
 import urllib.request
+
+from repro.api import Response, StatsSnapshot
 
 SCENARIOS = [
     ("Simulate a timeout in the transfer function causing an unhandled exception", "bank"),
@@ -67,11 +73,12 @@ def main() -> None:
         print(f"started embedded server on {url}")
 
     try:
-        # 1. Synchronous: one request, one envelope.
-        status, envelope = call(
+        # 1. Synchronous: one request, one typed envelope.
+        status, body = call(
             url, "/v1/generate", {"description": SCENARIOS[0][0], "target": "bank"}
         )
-        payload = envelope["payload"]
+        envelope = Response.from_dict(body)
+        payload = envelope.payload
         print(f"sync HTTP {status}: {payload['fault']['fault_id']} ({payload['strategy']})")
 
         # 2. Asynchronous burst from CLIENTS threads, then poll the tickets.
@@ -91,16 +98,22 @@ def main() -> None:
             thread.join()
         for index in range(len(SCENARIOS)):
             while True:
-                status, envelope = call(url, f"/v1/requests/burst-{index}")
+                status, body = call(url, f"/v1/requests/burst-{index}")
                 if status == 200:
                     break
                 time.sleep(0.02)
-            print(f"burst-{index}: {envelope['payload']['fault']['fault_id']}")
+            envelope = Response.from_dict(body)
+            print(f"burst-{index}: {envelope.payload['fault']['fault_id']}")
 
-        # 3. Serving observability.
-        _, stats = call(url, "/v1/stats")
-        sizes = [b["size"] for b in stats["scheduler"]["batches"] if b["kind"] == "generate"]
-        print(f"requests_total={stats['server']['requests_total']} generate-batches={sizes}")
+        # 3. Serving observability, decoded into the typed stats document.
+        _, body = call(url, "/v1/stats")
+        stats = StatsSnapshot.from_dict(body)
+        if stats.shards:  # routed through a sharded front-end
+            depths = {info.index: info.queue_depth for info in stats.shards}
+            print(f"requests_total={stats.aggregate['requests_total']} shard-depths={depths}")
+        else:
+            sizes = [b["size"] for b in stats.scheduler["batches"] if b["kind"] == "generate"]
+            print(f"requests_total={stats.server['requests_total']} generate-batches={sizes}")
     finally:
         if server is not None:
             server.close()

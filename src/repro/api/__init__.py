@@ -27,12 +27,16 @@ from .requests import (
 )
 from .responses import (
     SCHEMA_VERSION,
+    CacheStats,
     CampaignPayload,
     DatasetPayload,
     ErrorInfo,
+    ExecutionStats,
     GeneratePayload,
     Response,
     RLHFPayload,
+    ShardInfo,
+    StatsSnapshot,
     Timings,
     WirePayload,
     error_kind_for,
@@ -41,11 +45,13 @@ from .scheduler import ResponseHandle, Scheduler, SchedulerStats, Ticket
 
 __all__ = [
     "CAMPAIGN_TECHNIQUES",
+    "CacheStats",
     "CampaignPayload",
     "CampaignRequest",
     "DatasetPayload",
     "DatasetRequest",
     "ErrorInfo",
+    "ExecutionStats",
     "FaultInjectionEngine",
     "GeneratePayload",
     "GenerateRequest",
@@ -58,6 +64,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "Scheduler",
     "SchedulerStats",
+    "ShardInfo",
+    "StatsSnapshot",
     "Ticket",
     "Timings",
     "WirePayload",

@@ -57,7 +57,9 @@ from .requests import CampaignRequest, DatasetRequest, GenerateRequest, Request,
 from .responses import (
     CampaignPayload,
     DatasetPayload,
+    CacheStats,
     ErrorInfo,
+    ExecutionStats,
     GeneratePayload,
     Response,
     RLHFPayload,
@@ -219,21 +221,20 @@ class FaultInjectionEngine:
         stats["queue_depth"] = self._scheduler.queue_depth
         return stats
 
-    def execution_stats(self) -> dict:
-        """Execution-plane resilience observations.
+    def execution_snapshot(self) -> ExecutionStats:
+        """Execution-plane resilience observations as a typed snapshot.
 
         Returns:
-            ``{"pools": {target: counters}, "totals": counters,
-            "distributed": counters, "breakers": {key: breaker snapshot}}``
-            where pool counters are each pool's ``tasks_executed`` /
-            ``pool_rebuilds`` / ``retries`` / ``quarantined`` supervision
-            counters (pools that have not run yet are omitted) and
-            ``distributed`` aggregates the distributed plane's ``workers`` /
-            ``leases`` / ``requeues`` / ``rebalances`` across runners.  The
-            dataset generator's validation pool reports under the reserved
-            name ``"dataset"``.  Counters accumulate across pool rebuilds, so
-            every total is monotonic within one engine lifetime (``workers``
-            is a gauge).
+            An :class:`~repro.api.ExecutionStats` whose ``pools`` map each
+            pool's ``tasks_executed`` / ``pool_rebuilds`` / ``retries`` /
+            ``quarantined`` supervision counters (pools that have not run yet
+            are omitted), ``totals`` sums them, ``distributed`` aggregates
+            the distributed plane's ``workers`` / ``leases`` / ``requeues`` /
+            ``rebalances`` across runners, and ``breakers`` carries the
+            circuit-breaker snapshots.  The dataset generator's validation
+            pool reports under the reserved name ``"dataset"``.  Counters
+            accumulate across pool rebuilds, so every total is monotonic
+            within one engine lifetime (``workers`` is a gauge).
         """
         with self._lock:
             runners = dict(self._experiment_runners)
@@ -259,11 +260,36 @@ class FaultInjectionEngine:
                 totals[key] += int(stats.get(key, 0))
             for key in distributed:
                 distributed[key] += int(stats.get(key, 0))
+        return ExecutionStats(
+            pools=pools,
+            totals=totals,
+            distributed=distributed,
+            breakers=self._breakers.to_dict(),
+        )
+
+    def execution_stats(self) -> dict:
+        """The :meth:`execution_snapshot` in its historical wire-dict shape.
+
+        Returns:
+            ``{"pools": {target: counters}, "totals": counters,
+            "distributed": counters, "breakers": {key: breaker snapshot}}``
+            — see :meth:`execution_snapshot` for the counter semantics.
+        """
+        return self.execution_snapshot().to_dict()
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Typed hit/miss counters of the engine's four LRU caches.
+
+        Returns:
+            ``{"extract": ..., "encoder": ..., "render": ..., "compiled":
+            ...}`` as :class:`~repro.api.CacheStats` — the NLP extraction,
+            feature-encoder, grammar-render, and compiled-automaton caches.
+        """
         return {
-            "pools": pools,
-            "totals": totals,
-            "distributed": distributed,
-            "breakers": self._breakers.to_dict(),
+            "extract": CacheStats(**self.extractor.cache_info()),
+            "encoder": CacheStats(**self.generator.encoder.cache_info()),
+            "render": CacheStats(**self.generator.grammar.cache_info()),
+            "compiled": CacheStats(**self.generator.compiler.cache_info()),
         }
 
     def open_breakers(self) -> int:

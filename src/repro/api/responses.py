@@ -261,6 +261,277 @@ class WirePayload:
         return self.data[key]
 
 
+def _reject_unknown_fields(cls_name: str, data: Mapping[str, Any], known: set[str]) -> None:
+    """Strict wire-codec guard shared by the stats dataclasses.
+
+    Raises:
+        RequestError: Naming the unknown fields, mirroring the request
+            codecs, so clients learn exactly which key they misspelled.
+    """
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise RequestError(
+            f"unknown {cls_name} fields {unknown}; known fields: {sorted(known)}"
+        )
+
+
+def _require_mapping(cls_name: str, data: Any) -> Mapping[str, Any]:
+    if not isinstance(data, Mapping):
+        raise RequestError(f"{cls_name} must be a JSON object, got {type(data).__name__}")
+    return data
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one LRU cache in the shared cache-info layout.
+
+    Every cache in the stack (NLP extraction, feature encoding, grammar
+    rendering, compiled automatons) reports exactly these four counters, so
+    the wire form round-trips byte-exactly through
+    :meth:`from_dict`/:meth:`to_dict`.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+    max_size: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view (identical to the runtime ``cache_info()`` layout)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "max_size": self.max_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CacheStats":
+        """Decode the wire view; unknown fields are rejected by name.
+
+        Raises:
+            RequestError: On non-object data, unknown fields, or
+                non-integer counters.
+        """
+        data = _require_mapping("cache stats", data)
+        _reject_unknown_fields("cache stats", data, {"hits", "misses", "size", "max_size"})
+        try:
+            return cls(
+                hits=int(data.get("hits", 0)),
+                misses=int(data.get("misses", 0)),
+                size=int(data.get("size", 0)),
+                max_size=int(data.get("max_size", 0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"malformed cache stats: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """Execution-plane resilience observations of one engine.
+
+    The typed form of ``engine.execution_stats()``: per-pool supervision
+    counters, their monotonic totals, the distributed-plane gauges, and the
+    circuit-breaker snapshots.  The nested counter mappings are carried as
+    plain data (their keys are the supervision counters documented on
+    :meth:`~repro.api.FaultInjectionEngine.execution_stats`), so the wire
+    form round-trips byte-exactly.
+    """
+
+    pools: Mapping[str, Any] = field(default_factory=dict)
+    totals: Mapping[str, Any] = field(default_factory=dict)
+    distributed: Mapping[str, Any] = field(default_factory=dict)
+    breakers: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view (the historical ``execution_stats()`` dict shape)."""
+        return {
+            "pools": {name: dict(counters) for name, counters in self.pools.items()},
+            "totals": dict(self.totals),
+            "distributed": dict(self.distributed),
+            "breakers": {name: dict(snapshot) for name, snapshot in self.breakers.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionStats":
+        """Decode the wire view; unknown fields are rejected by name.
+
+        Raises:
+            RequestError: On non-object data, unknown fields, or non-object
+                sections.
+        """
+        data = _require_mapping("execution stats", data)
+        _reject_unknown_fields(
+            "execution stats", data, {"pools", "totals", "distributed", "breakers"}
+        )
+        sections = {}
+        for key in ("pools", "totals", "distributed", "breakers"):
+            sections[key] = _require_mapping(f"execution stats {key!r}", data.get(key, {}))
+        return cls(
+            pools=dict(sections["pools"]),
+            totals=dict(sections["totals"]),
+            distributed=dict(sections["distributed"]),
+            breakers=dict(sections["breakers"]),
+        )
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One engine shard as seen by the sharded front-end (docs/SHARDING.md).
+
+    ``respawns`` counts supervision restarts of this shard's worker process
+    (the shard-level analogue of the pool's ``pool_rebuilds``); gauges
+    (``queue_depth``, ``open_breakers``) are the shard's own at snapshot
+    time.  ``stats`` optionally embeds the shard's full stats snapshot as
+    plain wire data (``None`` when the shard was unreachable).
+    """
+
+    index: int
+    url: str
+    alive: bool = True
+    respawns: int = 0
+    queue_depth: int = 0
+    draining: bool = False
+    open_breakers: int = 0
+    stats: Mapping[str, Any] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view; ``stats`` is omitted when not captured."""
+        data: dict[str, Any] = {
+            "index": self.index,
+            "url": self.url,
+            "alive": self.alive,
+            "respawns": self.respawns,
+            "queue_depth": self.queue_depth,
+            "draining": self.draining,
+            "open_breakers": self.open_breakers,
+        }
+        if self.stats is not None:
+            data["stats"] = dict(self.stats)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardInfo":
+        """Decode the wire view; unknown fields are rejected by name.
+
+        Raises:
+            RequestError: On non-object data, unknown fields, or malformed
+                field values.
+        """
+        data = _require_mapping("shard info", data)
+        _reject_unknown_fields(
+            "shard info",
+            data,
+            {"index", "url", "alive", "respawns", "queue_depth", "draining",
+             "open_breakers", "stats"},
+        )
+        stats = data.get("stats")
+        if stats is not None:
+            stats = dict(_require_mapping("shard info 'stats'", stats))
+        try:
+            return cls(
+                index=int(data.get("index", 0)),
+                url=str(data.get("url", "")),
+                alive=bool(data.get("alive", True)),
+                respawns=int(data.get("respawns", 0)),
+                queue_depth=int(data.get("queue_depth", 0)),
+                draining=bool(data.get("draining", False)),
+                open_breakers=int(data.get("open_breakers", 0)),
+                stats=stats,
+            )
+        except (TypeError, ValueError) as exc:
+            raise RequestError(f"malformed shard info: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """The typed, versioned ``GET /v1/stats`` body.
+
+    In the single-engine topology the snapshot carries the front-end's
+    ``server`` counters plus the engine's ``scheduler``/``execution``/
+    ``caches`` sections — byte-identical on the wire to the historical
+    ad-hoc dict.  In the sharded topology the engine sections live inside
+    each :class:`ShardInfo` instead, and ``aggregate`` carries the
+    cross-shard view (monotonic counters accumulate across shard respawns;
+    see docs/SHARDING.md).
+    """
+
+    server: Mapping[str, Any]
+    scheduler: Mapping[str, Any] | None = None
+    execution: ExecutionStats | None = None
+    caches: Mapping[str, CacheStats] | None = None
+    shards: tuple[ShardInfo, ...] = ()
+    aggregate: Mapping[str, Any] | None = None
+    schema_version: str = SCHEMA_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able view; topology-absent sections are omitted entirely."""
+        data: dict[str, Any] = {
+            "schema_version": self.schema_version,
+            "server": dict(self.server),
+        }
+        if self.scheduler is not None:
+            data["scheduler"] = dict(self.scheduler)
+        if self.execution is not None:
+            data["execution"] = self.execution.to_dict()
+        if self.caches is not None:
+            data["caches"] = {name: cache.to_dict() for name, cache in self.caches.items()}
+        if self.shards:
+            data["shards"] = [shard.to_dict() for shard in self.shards]
+        if self.aggregate is not None:
+            data["aggregate"] = dict(self.aggregate)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StatsSnapshot":
+        """Decode a wire stats body back into the typed snapshot.
+
+        ``StatsSnapshot.from_dict(s.to_dict())`` round-trips byte-exactly in
+        both topologies.
+
+        Raises:
+            RequestError: On non-object data, unknown fields, a missing
+                ``server`` section, or malformed nested sections.
+        """
+        data = _require_mapping("stats snapshot", data)
+        _reject_unknown_fields(
+            "stats snapshot",
+            data,
+            {"schema_version", "server", "scheduler", "execution", "caches",
+             "shards", "aggregate"},
+        )
+        if "server" not in data:
+            raise RequestError("stats snapshot is missing its 'server' section")
+        server = dict(_require_mapping("stats snapshot 'server'", data["server"]))
+        scheduler = data.get("scheduler")
+        if scheduler is not None:
+            scheduler = dict(_require_mapping("stats snapshot 'scheduler'", scheduler))
+        execution = data.get("execution")
+        if execution is not None:
+            execution = ExecutionStats.from_dict(execution)
+        caches = data.get("caches")
+        if caches is not None:
+            caches = {
+                str(name): CacheStats.from_dict(cache)
+                for name, cache in _require_mapping("stats snapshot 'caches'", caches).items()
+            }
+        shards_data = data.get("shards", [])
+        if not isinstance(shards_data, (list, tuple)):
+            raise RequestError("stats snapshot 'shards' must be a JSON array")
+        aggregate = data.get("aggregate")
+        if aggregate is not None:
+            aggregate = dict(_require_mapping("stats snapshot 'aggregate'", aggregate))
+        return cls(
+            server=server,
+            scheduler=scheduler,
+            execution=execution,
+            caches=caches,
+            shards=tuple(ShardInfo.from_dict(entry) for entry in shards_data),
+            aggregate=aggregate,
+            schema_version=str(data.get("schema_version", SCHEMA_VERSION)),
+        )
+
+
 @dataclass
 class Response:
     """The versioned envelope every request resolves to."""

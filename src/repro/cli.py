@@ -65,11 +65,47 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--mode", default=None, help="sandbox mode: inprocess|subprocess|pool|distributed")
 
     serve = commands.add_parser(
-        "serve", help="serve the engine over HTTP/JSON (see docs/SERVING.md)"
+        "serve",
+        help="serve the engine over HTTP/JSON (see docs/SERVING.md)",
+        description=(
+            "Serve the engine over HTTP/JSON.  The server flags are aliases "
+            "for ServerConfig fields and are applied through the single "
+            "validated ServerConfig.from_args entry point; prefer configuring "
+            "ServerConfig directly when embedding."
+        ),
     )
     serve.add_argument("--seed", type=int, default=None, help="pipeline seed override")
-    serve.add_argument("--host", default=None, help="bind address (default: config host)")
-    serve.add_argument("--port", type=int, default=None, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--host", default=None, help="bind address (alias for ServerConfig.host)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port, 0 = ephemeral (alias for ServerConfig.port)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run N engine worker processes behind a consistent-hash router "
+            "(1 = classic single-engine serving; ServerConfig.shards, see "
+            "docs/SHARDING.md)"
+        ),
+    )
+    serve.add_argument(
+        "--shard-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-shard admission bound: each shard sheds its own submissions "
+            "with HTTP 429 at N queued tickets (default: --max-queue-depth; "
+            "ServerConfig.shard_queue_depth)"
+        ),
+    )
     serve.add_argument("--mode", default=None, help="default sandbox mode: inprocess|subprocess|pool|distributed")
     serve.add_argument("--max-workers", type=int, default=None, help="sandbox worker pool size")
     serve.add_argument(
@@ -100,7 +136,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "admission control: shed request submissions with HTTP 429 while the "
             "scheduler already holds N queued tickets (0 disables shedding; "
-            "ServerConfig.max_queue_depth, surfaced on GET /healthz as queue_depth)"
+            "alias for ServerConfig.max_queue_depth, surfaced on GET /healthz "
+            "as queue_depth)"
         ),
     )
 
@@ -166,7 +203,19 @@ def _serve_command(args: argparse.Namespace) -> int:
     from .server import FaultInjectionServer
 
     try:
-        config = PipelineConfig(seed=args.seed) if args.seed is not None else PipelineConfig()
+        # Shard worker processes receive their full pipeline configuration
+        # through the environment (the router serializes it), so a worker is
+        # an exact replica of the front-end's stack with the shard topology
+        # baked into the server section.
+        from .server.sharding import SHARD_CONFIG_ENV
+
+        inherited = os.environ.get(SHARD_CONFIG_ENV)
+        if inherited:
+            config = PipelineConfig.from_dict(json.loads(inherited))
+            if args.seed is not None:
+                config = replace(config, seed=args.seed)
+        else:
+            config = PipelineConfig(seed=args.seed) if args.seed is not None else PipelineConfig()
         execution = config.execution
         if args.mode is not None:
             execution = replace(execution, default_mode=args.mode)
@@ -188,18 +237,10 @@ def _serve_command(args: argparse.Namespace) -> int:
             )
             resilience = replace(resilience, chaos=chaos)
         config = replace(config, execution=execution, engine=engine_config, resilience=resilience)
-        server_config = config.server
-        overrides = {}
-        if args.host is not None:
-            overrides["host"] = args.host
-        if args.port is not None:
-            overrides["port"] = args.port
-        if args.max_queue_depth is not None:
-            overrides["max_queue_depth"] = args.max_queue_depth
-        if overrides:
-            server_config = replace(server_config, **overrides)
-        if not isinstance(server_config, ServerConfig):  # pragma: no cover - defensive
-            raise ReproError("server configuration is missing")
+        # All server flags funnel through the one validated entry point
+        # (the individual flags are aliases for ServerConfig fields).
+        server_config = ServerConfig.from_args(args, base=config.server)
+        config = replace(config, server=server_config)
         server = FaultInjectionServer(config=config, server_config=server_config)
     except (ReproError, OSError) as exc:
         # OSError covers socket binding (port in use, privileged port).

@@ -1,0 +1,516 @@
+"""Consistent-hash sharding of the serving plane (docs/SHARDING.md).
+
+``python -m repro serve --shards N`` turns the front-end into a router over
+N *shard worker processes*, each running the classic single-engine server
+(`python -m repro serve` with the shard topology baked into its config) on a
+loopback ephemeral port.  The pieces here:
+
+* :class:`HashRing` — a deterministic consistent-hash ring (sha256 points,
+  virtual nodes).  Routing is a pure function of ``(shard count, key)``, so
+  the same target lands on the same shard across requests *and* restarts —
+  per-target worker pools, memoized analyses, and prompt caches stay hot in
+  exactly one shard.
+* :func:`routing_key` — the request-body → ring-key rule (the target when
+  present, else the first dataset target, else the description).
+* :class:`ShardManager` — shard lifecycle: spawn, readiness, HTTP proxying,
+  supervision (dead shards are respawned and counted in ``shard_respawns``,
+  the shard-level analogue of ``pool_rebuilds``), stats aggregation with
+  retired-counter accumulation (aggregates stay monotonic across respawns),
+  and SIGINT drain fan-out on close.
+
+The manager is deliberately engine-agnostic: it only speaks the public HTTP
+surface of its shards, which is what keeps ``--shards 1`` byte-identical to
+the historical single-engine server — that topology never constructs any of
+this machinery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from bisect import bisect_right
+from typing import Any, Mapping
+
+from ..api import ShardInfo
+from ..config import PipelineConfig, ServerConfig
+from ..errors import ReproError
+
+#: Virtual nodes per shard on the ring.  Together with the salt this is a
+#: pinned constant: changing either remaps targets across shards (cold
+#: caches after an upgrade) and breaks the routing-stability tests.
+RING_REPLICAS = 64
+
+#: Hash salt for ring points and keys.  Chosen (with RING_REPLICAS) so the
+#: builtin targets spread across all shards at the common shard counts —
+#: ``tests/test_sharding.py`` pins that property.
+RING_SALT = "repro-shard-68"
+
+#: Environment variable carrying the full pipeline config JSON to shard
+#: worker processes (read by ``python -m repro serve``).
+SHARD_CONFIG_ENV = "REPRO_SERVE_CONFIG"
+
+#: How long the manager waits for one shard worker to print its banner.
+_SPAWN_TIMEOUT_SECONDS = 60.0
+
+#: Supervision poll interval: dead shard processes are respawned this fast.
+_SUPERVISE_INTERVAL_SECONDS = 0.5
+
+#: Per-proxy-call HTTP timeout towards a shard.
+_PROXY_TIMEOUT_SECONDS = 120.0
+
+#: Monotonic counters folded into the cross-shard aggregate (and into the
+#: retired ledger when a shard incarnation dies).
+_MONOTONIC_KEYS = (
+    "requests_total",
+    "dispatched",
+    "batch_count",
+    "tasks_executed",
+    "pool_rebuilds",
+    "retries",
+    "quarantined",
+)
+
+
+class ShardUnavailableError(ReproError):
+    """A shard worker could not be reached (dead or mid-respawn)."""
+
+
+class HashRing:
+    """A deterministic consistent-hash ring over ``shards`` buckets.
+
+    Points are sha256 hashes of ``salt:index:replica``; keys hash to
+    ``salt|key:<key>`` and route to the next point clockwise.  Everything is
+    derived from the constructor arguments, so two rings built with the same
+    shard count always agree — the property the routing tests pin.
+    """
+
+    def __init__(self, shards: int, replicas: int = RING_REPLICAS, salt: str = RING_SALT) -> None:
+        """Build the ring.
+
+        Args:
+            shards: Bucket count (positive).
+            replicas: Virtual nodes per bucket.
+            salt: Hash salt shared by points and keys.
+        """
+        if shards <= 0:
+            raise ReproError("hash ring needs at least one shard")
+        if replicas <= 0:
+            raise ReproError("hash ring needs at least one replica per shard")
+        self.shards = shards
+        self._salt = salt
+        points: list[tuple[int, int]] = []
+        for index in range(shards):
+            for replica in range(replicas):
+                points.append((self._hash(f"{salt}:{index}:{replica}"), index))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    @staticmethod
+    def _hash(text: str) -> int:
+        return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+    def route(self, key: str) -> int:
+        """The shard index owning ``key`` (stable across ring instances)."""
+        value = self._hash(f"{self._salt}|key:{key}")
+        index = bisect_right(self._hashes, value) % len(self._hashes)
+        return self._owners[index]
+
+
+def routing_key(kind: str, data: Any) -> str:
+    """The consistent-hash key of one decoded request body.
+
+    The rule (docs/SHARDING.md): route by ``target`` when the body names
+    one, else by the first entry of a ``targets`` list (dataset requests),
+    else by the ``description`` text (keyless generates spread over shards
+    but identical descriptions stay cache-hot on one), else by the request
+    kind.  The key only depends on the body, so retries and async polls of
+    the same logical request land on the same shard.
+    """
+    if isinstance(data, Mapping):
+        target = data.get("target")
+        if isinstance(target, str) and target:
+            return target
+        targets = data.get("targets")
+        if isinstance(targets, (list, tuple)) and targets and isinstance(targets[0], str):
+            return targets[0]
+        description = data.get("description")
+        if isinstance(description, str) and description:
+            return description
+        descriptions = data.get("descriptions")
+        if (
+            isinstance(descriptions, (list, tuple))
+            and descriptions
+            and isinstance(descriptions[0], str)
+        ):
+            return descriptions[0]
+    return kind
+
+
+def _shard_environment(config_json: str) -> dict[str, str]:
+    """A child environment that can import :mod:`repro` and read its config."""
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    parts = [package_root] + ([existing] if existing else [])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    env[SHARD_CONFIG_ENV] = config_json
+    return env
+
+
+class _Shard:
+    """One shard slot: the current worker incarnation plus its history."""
+
+    __slots__ = ("index", "process", "url", "respawns", "last_stats", "alive")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: subprocess.Popen | None = None
+        self.url: str = ""
+        self.respawns = 0
+        self.last_stats: dict | None = None
+        self.alive = False
+
+
+class ShardManager:
+    """Owns the shard worker fleet behind a sharded front-end.
+
+    Spawn/drain, supervision with respawn accounting, request proxying, and
+    cross-shard stats aggregation all live here; the HTTP handler layer only
+    ever calls the public methods.
+    """
+
+    def __init__(self, config: PipelineConfig, server_config: ServerConfig) -> None:
+        """Prepare the fleet (nothing spawns until :meth:`start`).
+
+        Args:
+            config: The front-end's pipeline configuration; each shard runs
+                an identical copy with the server section swapped for
+                :meth:`~repro.config.ServerConfig.shard_child`.
+            server_config: The front-end's server configuration (shard
+                count, drain timeout, per-shard queue depth).
+        """
+        from dataclasses import replace
+
+        self.server_config = server_config
+        self.shards = server_config.shards
+        child_config = replace(config, server=server_config.shard_child())
+        self._child_config_json = json.dumps(child_config.to_dict(), sort_keys=True)
+        self._ring = HashRing(self.shards)
+        self._slots = [_Shard(index) for index in range(self.shards)]
+        self._lock = threading.Lock()
+        self._closed = False
+        self._retired = {key: 0 for key in _MONOTONIC_KEYS}
+        self._supervisor: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "ShardManager":
+        """Spawn every shard worker and block until all are serving.
+
+        Raises:
+            ReproError: When any worker fails to come up; already-started
+                workers are torn down first.
+        """
+        try:
+            processes = [self._spawn_process() for _ in self._slots]
+            for slot, process in zip(self._slots, processes):
+                slot.process = process
+                slot.url = self._await_banner(process)
+                slot.alive = True
+        except Exception:
+            self.close()
+            raise
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-shard-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        return self
+
+    def close(self) -> None:
+        """Drain fan-out: SIGINT every shard concurrently, then reap.
+
+        Each worker runs the classic graceful drain (in-flight exchanges
+        finish, queued tickets resolve, engine closes); workers that outlive
+        ``drain_timeout_seconds`` are killed.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        deadline = time.monotonic() + self.server_config.drain_timeout_seconds
+        for slot in self._slots:
+            process = slot.process
+            if process is not None and process.poll() is None:
+                try:
+                    process.send_signal(signal.SIGINT)
+                except OSError:  # pragma: no cover - already reaped
+                    pass
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+            slot.alive = False
+
+    def _spawn_process(self) -> subprocess.Popen:
+        # A fresh session detaches workers from the controlling terminal:
+        # a Ctrl-C against the front-end must reach each worker exactly once
+        # (the drain fan-out below), not also via the foreground process
+        # group mid-drain.
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve"],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+            start_new_session=True,
+            env=_shard_environment(self._child_config_json),
+        )
+
+    @staticmethod
+    def _await_banner(process: subprocess.Popen) -> str:
+        """Block until the worker prints ``serving on <url>``; drain after.
+
+        The banner may be preceded by interpreter warnings; once it appears
+        a daemon thread keeps consuming stderr so the pipe never fills.
+        """
+        deadline = time.monotonic() + _SPAWN_TIMEOUT_SECONDS
+        seen: list[str] = []
+        while True:
+            if time.monotonic() > deadline:
+                process.kill()
+                raise ReproError(f"shard worker never became ready; stderr was {seen!r}")
+            line = process.stderr.readline()
+            if not line:
+                process.wait(timeout=10)
+                raise ReproError(
+                    f"shard worker exited with code {process.returncode} "
+                    f"before serving; stderr was {seen!r}"
+                )
+            if "serving on " in line:
+                url = line.split("serving on ")[1].split(" ")[0].strip()
+                drain = threading.Thread(
+                    target=ShardManager._drain_stderr, args=(process,), daemon=True
+                )
+                drain.start()
+                return url
+            seen.append(line.rstrip())
+
+    @staticmethod
+    def _drain_stderr(process: subprocess.Popen) -> None:
+        try:
+            for _line in process.stderr:
+                pass
+        except (ValueError, OSError):  # pragma: no cover - stream closed mid-read
+            pass
+
+    # -- supervision -------------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Respawn dead shard workers until :meth:`close`."""
+        while True:
+            time.sleep(_SUPERVISE_INTERVAL_SECONDS)
+            with self._lock:
+                if self._closed:
+                    return
+            for slot in self._slots:
+                process = slot.process
+                if process is not None and process.poll() is None:
+                    continue
+                with self._lock:
+                    if self._closed:
+                        return
+                    self._retire_locked(slot)
+                try:
+                    replacement = self._spawn_process()
+                    url = self._await_banner(replacement)
+                except ReproError:
+                    continue  # next tick tries again
+                with self._lock:
+                    if self._closed:
+                        replacement.send_signal(signal.SIGINT)
+                        continue
+                    slot.process = replacement
+                    slot.url = url
+                    slot.alive = True
+                    slot.respawns += 1
+
+    def _retire_locked(self, slot: _Shard) -> None:
+        """Fold a dead incarnation's last-known counters into the ledger.
+
+        The retired ledger is what keeps aggregate counters monotonic across
+        respawns: a fresh worker restarts its own counters at zero, so the
+        aggregate adds the best (last successfully polled) view of every
+        incarnation that died.  Counter increments between the last poll and
+        the death are lost — the documented accuracy bound.
+        """
+        slot.alive = False
+        stats = slot.last_stats
+        slot.last_stats = None
+        if not stats:
+            return
+        for key, value in _monotonic_counters(stats).items():
+            self._retired[key] += value
+
+    # -- routing and proxying ----------------------------------------------------
+
+    def shard_for(self, key: str) -> int:
+        """The shard index the ring assigns to ``key``."""
+        return self._ring.route(key)
+
+    def request(
+        self,
+        index: int,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One proxied HTTP exchange against shard ``index``.
+
+        Returns:
+            ``(status, headers, body_bytes)`` — the shard's response
+            verbatim (the router never re-encodes payload bytes).
+
+        Raises:
+            ShardUnavailableError: When the shard cannot be reached (its
+                worker died or is mid-respawn — the supervisor notices and
+                restarts it); the caller maps this to a 503 with
+                ``Retry-After``.
+        """
+        slot = self._slots[index]
+        url = slot.url
+        process = slot.process
+        if not url or process is None or process.poll() is not None:
+            raise ShardUnavailableError(f"shard {index} is restarting")
+        host, port = url.removeprefix("http://").rsplit(":", 1)
+        connection = http.client.HTTPConnection(host, int(port), timeout=_PROXY_TIMEOUT_SECONDS)
+        try:
+            connection.request(
+                method, path, body=body, headers={"Content-Type": content_type}
+            )
+            response = connection.getresponse()
+            payload = response.read()
+            headers = {name: value for name, value in response.getheaders()}
+            return response.status, headers, payload
+        except (ConnectionError, http.client.HTTPException, OSError) as exc:
+            raise ShardUnavailableError(f"shard {index} is unreachable: {exc}") from exc
+        finally:
+            connection.close()
+
+    def request_json(self, index: int, method: str, path: str) -> dict | None:
+        """A proxied JSON GET/DELETE; ``None`` when the shard is unreachable."""
+        try:
+            status, _headers, body = self.request(index, method, path)
+        except ShardUnavailableError:
+            return None
+        if status != 200:
+            return None
+        try:
+            return json.loads(body)
+        except (ValueError, UnicodeDecodeError):  # pragma: no cover - shard bug
+            return None
+
+    # -- observability -----------------------------------------------------------
+
+    def health(self) -> list[dict | None]:
+        """Every shard's ``/healthz`` body (``None`` for unreachable shards)."""
+        return [self.request_json(slot.index, "GET", "/healthz") for slot in self._slots]
+
+    def snapshots(self) -> list[dict | None]:
+        """Every shard's ``/v1/stats`` body, updating the retired ledger's
+        last-known counters (``None`` for unreachable shards)."""
+        results: list[dict | None] = []
+        for slot in self._slots:
+            snapshot = self.request_json(slot.index, "GET", "/v1/stats")
+            if snapshot is not None:
+                slot.last_stats = snapshot
+            results.append(snapshot)
+        return results
+
+    def shard_infos(
+        self, snapshots: list[dict | None], include_stats: bool = True
+    ) -> tuple[ShardInfo, ...]:
+        """Typed per-shard sections for the aggregated stats snapshot."""
+        infos = []
+        for slot, snapshot in zip(self._slots, snapshots):
+            alive = snapshot is not None
+            server = (snapshot or {}).get("server", {})
+            scheduler = (snapshot or {}).get("scheduler", {})
+            execution = (snapshot or {}).get("execution", {})
+            open_breakers = sum(
+                1
+                for state in execution.get("breakers", {}).values()
+                if isinstance(state, Mapping) and state.get("state") == "open"
+            )
+            infos.append(
+                ShardInfo(
+                    index=slot.index,
+                    url=slot.url,
+                    alive=alive,
+                    respawns=slot.respawns,
+                    queue_depth=int(scheduler.get("queue_depth", 0)),
+                    draining=bool(server.get("draining", False)),
+                    open_breakers=open_breakers,
+                    stats=snapshot if include_stats else None,
+                )
+            )
+        return tuple(infos)
+
+    def aggregate(self, infos: tuple[ShardInfo, ...]) -> dict[str, Any]:
+        """The cross-shard view: monotonic counters plus topology gauges.
+
+        Monotonic counters are ``retired ledger + sum over live shards``, so
+        they never go backwards when a shard is respawned with fresh
+        counters; ``queue_depth``/``open_breakers`` are gauges summed over
+        reachable shards.
+        """
+        with self._lock:
+            aggregate: dict[str, Any] = {key: self._retired[key] for key in _MONOTONIC_KEYS}
+        for info in infos:
+            if info.stats is None:
+                continue
+            for key, value in _monotonic_counters(info.stats).items():
+                aggregate[key] += value
+        aggregate["queue_depth"] = sum(info.queue_depth for info in infos)
+        aggregate["open_breakers"] = sum(info.open_breakers for info in infos)
+        aggregate["shards"] = self.shards
+        aggregate["alive_shards"] = sum(1 for info in infos if info.alive)
+        aggregate["degraded_shards"] = self.shards - aggregate["alive_shards"]
+        aggregate["shard_respawns"] = sum(info.respawns for info in infos)
+        return aggregate
+
+
+def _monotonic_counters(snapshot: Mapping[str, Any]) -> dict[str, int]:
+    """Extract one shard snapshot's monotonic counters (absent keys → 0)."""
+    server = snapshot.get("server", {})
+    scheduler = snapshot.get("scheduler", {})
+    totals = snapshot.get("execution", {}).get("totals", {})
+    sources = {
+        "requests_total": server,
+        "dispatched": scheduler,
+        "batch_count": scheduler,
+        "tasks_executed": totals,
+        "pool_rebuilds": totals,
+        "retries": totals,
+        "quarantined": totals,
+    }
+    counters = {}
+    for key, section in sources.items():
+        value = section.get(key, 0) if isinstance(section, Mapping) else 0
+        counters[key] = int(value) if isinstance(value, (int, float)) else 0
+    return counters

@@ -26,6 +26,7 @@ DOC_FILES = [
     REPO_ROOT / "docs" / "EXECUTION.md",
     REPO_ROOT / "docs" / "RESILIENCE.md",
     REPO_ROOT / "docs" / "SERVING.md",
+    REPO_ROOT / "docs" / "SHARDING.md",
 ]
 
 _BLOCK_PATTERN = re.compile(r"```python\n(.*?)```", re.DOTALL)
@@ -48,6 +49,7 @@ class TestDocsExistAndAreLinked:
         assert "docs/RESILIENCE.md" in readme
         assert "docs/SERVING.md" in readme
         assert "docs/DISTRIBUTED.md" in readme
+        assert "docs/SHARDING.md" in readme
 
     def test_docs_cross_reference_each_other(self):
         api = (REPO_ROOT / "docs" / "API.md").read_text()
@@ -56,6 +58,7 @@ class TestDocsExistAndAreLinked:
         resilience = (REPO_ROOT / "docs" / "RESILIENCE.md").read_text()
         serving = (REPO_ROOT / "docs" / "SERVING.md").read_text()
         distributed = (REPO_ROOT / "docs" / "DISTRIBUTED.md").read_text()
+        sharding = (REPO_ROOT / "docs" / "SHARDING.md").read_text()
         assert "EXECUTION.md" in architecture
         assert "ARCHITECTURE.md" in execution
         assert "ARCHITECTURE.md" in api
@@ -71,6 +74,11 @@ class TestDocsExistAndAreLinked:
         assert "EXECUTION.md" in distributed
         assert "ARCHITECTURE.md" in distributed
         assert "RESILIENCE.md" in distributed
+        assert "SERVING.md" in sharding
+        assert "ARCHITECTURE.md" in sharding
+        assert "RESILIENCE.md" in sharding
+        assert "SHARDING.md" in serving
+        assert "SHARDING.md" in architecture
 
     def test_serving_example_is_referenced(self):
         example = REPO_ROOT / "examples" / "serving_engine.py"

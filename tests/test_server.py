@@ -16,13 +16,17 @@ import pytest
 
 from repro import FaultInjectionServer, PipelineConfig, ServerConfig
 from repro.api import (
+    CacheStats,
     CampaignRequest,
     DatasetRequest,
     ErrorInfo,
+    ExecutionStats,
     GenerateRequest,
     REQUEST_KINDS,
     Response,
     RLHFRequest,
+    ShardInfo,
+    StatsSnapshot,
     Timings,
     WirePayload,
     request_from_dict,
@@ -169,6 +173,93 @@ class TestResponseCodec:
         envelope = {"request_id": "r", "kind": "generate", "status": "ok", **corruption}
         with pytest.raises(RequestError):
             Response.from_dict(envelope)
+
+
+class TestStatsCodec:
+    """The typed stats surface: byte-exact round-trips, strict decoding."""
+
+    def test_cache_stats_round_trips(self):
+        stats = CacheStats(hits=7, misses=2, size=5, max_size=128)
+        wire = stats.to_dict()
+        assert list(wire) == ["hits", "misses", "size", "max_size"]
+        assert CacheStats.from_dict(json.loads(json.dumps(wire))) == stats
+
+    def test_cache_stats_rejects_unknown_fields(self):
+        with pytest.raises(RequestError, match="evictions"):
+            CacheStats.from_dict({"hits": 1, "evictions": 3})
+
+    def test_execution_stats_round_trips(self):
+        stats = ExecutionStats(
+            pools={"bank:pool": {"tasks_executed": 4}},
+            totals={"tasks_executed": 4, "pool_rebuilds": 1},
+            breakers={"bank": {"state": "closed"}},
+        )
+        wire = stats.to_dict()
+        decoded = ExecutionStats.from_dict(json.loads(json.dumps(wire)))
+        assert decoded.to_dict() == wire
+
+    def test_execution_stats_rejects_non_mapping_sections(self):
+        with pytest.raises(RequestError):
+            ExecutionStats.from_dict({"totals": [1, 2]})
+        with pytest.raises(RequestError, match="bogus"):
+            ExecutionStats.from_dict({"bogus": {}})
+
+    def test_shard_info_round_trips(self):
+        info = ShardInfo(
+            index=1,
+            url="http://127.0.0.1:9999",
+            respawns=2,
+            queue_depth=3,
+            open_breakers=1,
+            stats={"schema_version": "1.0", "server": {"requests_total": 9}},
+        )
+        wire = info.to_dict()
+        assert ShardInfo.from_dict(json.loads(json.dumps(wire))).to_dict() == wire
+
+    def test_shard_info_omits_stats_when_absent(self):
+        assert "stats" not in ShardInfo(index=0, url="").to_dict()
+
+    def test_shard_info_rejects_unknown_fields(self):
+        with pytest.raises(RequestError, match="weight"):
+            ShardInfo.from_dict({"index": 0, "url": "", "weight": 2})
+
+    def test_snapshot_single_engine_round_trips(self):
+        snapshot = StatsSnapshot(
+            server={"requests_total": 3, "draining": False},
+            scheduler={"queue_depth": 0, "dispatched": 3},
+            execution=ExecutionStats(totals={"tasks_executed": 1}),
+            caches={"extract": CacheStats(hits=1)},
+        )
+        wire = snapshot.to_dict()
+        # The single-engine wire shape: no shards/aggregate keys at all.
+        assert set(wire) == {"schema_version", "server", "scheduler", "execution", "caches"}
+        decoded = StatsSnapshot.from_dict(json.loads(json.dumps(wire)))
+        assert decoded.to_dict() == wire
+        assert decoded.shards == ()
+
+    def test_snapshot_sharded_round_trips(self):
+        snapshot = StatsSnapshot(
+            server={"requests_total": 5},
+            shards=(ShardInfo(index=0, url="http://h:1"), ShardInfo(index=1, url="http://h:2")),
+            aggregate={"requests_total": 5, "shards": 2},
+        )
+        wire = snapshot.to_dict()
+        assert set(wire) == {"schema_version", "server", "shards", "aggregate"}
+        decoded = StatsSnapshot.from_dict(json.loads(json.dumps(wire)))
+        assert decoded.to_dict() == wire
+        assert [shard.index for shard in decoded.shards] == [0, 1]
+
+    def test_snapshot_requires_a_server_section(self):
+        with pytest.raises(RequestError, match="server"):
+            StatsSnapshot.from_dict({"schema_version": "1.0"})
+
+    def test_snapshot_rejects_unknown_fields(self):
+        with pytest.raises(RequestError, match="telemetry"):
+            StatsSnapshot.from_dict({"server": {}, "telemetry": {}})
+
+    def test_snapshot_rejects_non_array_shards(self):
+        with pytest.raises(RequestError):
+            StatsSnapshot.from_dict({"server": {}, "shards": {"0": {}}})
 
 
 @pytest.fixture(scope="module")
@@ -331,6 +422,33 @@ class TestLiveServer:
         assert "queue_depth" in stats["scheduler"]
         for cache in ("extract", "encoder", "render"):
             assert {"hits", "misses", "size"} <= set(stats["caches"][cache])
+
+    def test_single_engine_stats_wire_shape_is_unchanged(self, server):
+        """Differential pin: ``--shards 1`` serving emits exactly the
+        historical single-engine stats document — the typed codec migration
+        must not change a byte of the key structure."""
+        status, stats = _exchange(server, "GET", "/v1/stats")
+        assert status == 200
+        assert set(stats) == {"schema_version", "server", "scheduler", "execution", "caches"}
+        assert set(stats["server"]) == {
+            "requests_total",
+            "http_errors_total",
+            "inflight",
+            "draining",
+            "tickets",
+        }
+        assert set(stats["execution"]) == {"pools", "totals", "distributed", "breakers"}
+        assert set(stats["caches"]) == {"extract", "encoder", "render", "compiled"}
+        for section in stats["caches"].values():
+            assert set(section) == {"hits", "misses", "size", "max_size"}
+        # The document decodes losslessly through the typed codec.
+        decoded = StatsSnapshot.from_dict(stats)
+        assert decoded.to_dict() == stats
+        assert decoded.shards == () and decoded.aggregate is None
+
+    def test_stats_endpoint_matches_typed_snapshot(self, server):
+        """`/v1/stats` is exactly ``stats_snapshot().to_dict()``."""
+        assert set(server.stats()) == set(server.stats_snapshot().to_dict())
 
     def test_completed_tickets_are_evicted_beyond_retention(self, server):
         # retention=4 for this server: submit 6 async tickets, wait for all,
